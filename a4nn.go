@@ -1,0 +1,202 @@
+// Package a4nn is the public API of the A4NN workflow — a Go
+// reproduction of "Composable Workflow for Accelerating Neural
+// Architecture Search Using In Situ Analytics for Protein Classification"
+// (Channing et al., ICPP 2023).
+//
+// A4NN wraps a neural architecture search (NSGA-II over the NSGA-Net
+// macro search space) with an in situ parametric fitness-prediction
+// engine that terminates each network's training as soon as its
+// extrapolated final fitness has stabilised, a resource manager that
+// spreads every generation across accelerators with FIFO dynamic
+// scheduling, and a lineage tracker that records each network's full
+// training lifespan into a local data commons.
+//
+// Quickstart:
+//
+//	trainer, _ := a4nn.SurrogateTrainer(a4nn.MediumBeam)
+//	cfg := a4nn.DefaultConfig(trainer) // Tables 1 and 2 of the paper
+//	result, err := a4nn.Run(cfg)
+//
+// Set cfg.Engine = nil for the standalone-NAS baseline, cfg.Devices = 4
+// to distribute training, and cfg.Store to persist record trails. For
+// genuine gradient-descent training on synthetic XFEL diffraction data,
+// build a dataset with GenerateXFEL and a trainer with NewRealTrainer.
+package a4nn
+
+import (
+	"a4nn/internal/analyzer"
+	"a4nn/internal/commons"
+	"a4nn/internal/core"
+	"a4nn/internal/dataset"
+	"a4nn/internal/genome"
+	"a4nn/internal/nsga"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+	"a4nn/internal/simtrain"
+	"a4nn/internal/xfel"
+)
+
+// Core workflow types.
+type (
+	// Config assembles a full A4NN (or standalone-NAS) run; see
+	// DefaultConfig for the paper's evaluation settings.
+	Config = core.Config
+	// Result is the outcome of a run: the NAS populations, one
+	// ModelResult per evaluated network, resource-manager accounting,
+	// epoch totals, and measured engine overhead.
+	Result = core.Result
+	// ModelResult pairs an evaluated genome with its record trail.
+	ModelResult = core.ModelResult
+	// Trainer builds trainable models from genomes; implement it to plug
+	// in a custom training backend.
+	Trainer = core.Trainer
+	// Trainable is one model mid-training.
+	Trainable = core.Trainable
+	// EpochMetrics reports one training epoch.
+	EpochMetrics = core.EpochMetrics
+	// Orchestrator runs Algorithm 1 around a single model; most callers
+	// use Run, which orchestrates whole searches.
+	Orchestrator = core.Orchestrator
+	// RealTrainerConfig configures gradient-descent training of decoded
+	// genomes.
+	RealTrainerConfig = core.RealTrainerConfig
+	// MicroConfig assembles a search over the micro (cell-based) space.
+	MicroConfig = core.MicroConfig
+	// MicroTrainer builds models from micro genomes.
+	MicroTrainer = core.MicroTrainer
+)
+
+// Prediction-engine types (paper §2.1).
+type (
+	// EngineConfig mirrors Table 1 (function family, C_min, e_pred, N, r).
+	EngineConfig = predict.Config
+	// Engine is the parametric prediction engine.
+	Engine = predict.Engine
+	// CurveFamily is a parametric learning-curve family; ExpApproach is
+	// the paper's F(x) = a − b^(c−x).
+	CurveFamily = predict.CurveFamily
+	// ExpApproach is the paper's curve family.
+	ExpApproach = predict.ExpApproach
+	// PowerLaw is an alternative family for ablations.
+	PowerLaw = predict.PowerLaw
+)
+
+// Search-space and NAS types.
+type (
+	// Genome encodes one architecture in the NSGA-Net macro space.
+	Genome = genome.Genome
+	// MicroGenome encodes one cell of the micro search space.
+	MicroGenome = genome.MicroGenome
+	// DecodeConfig shapes decoded networks.
+	DecodeConfig = genome.DecodeConfig
+	// NASConfig mirrors Table 2 (population, offspring, generations).
+	NASConfig = nsga.Config
+)
+
+// Dataset and beam types (paper §3.1).
+type (
+	// BeamIntensity is the XFEL pulse intensity, the paper's noise proxy.
+	BeamIntensity = xfel.BeamIntensity
+	// SimulatorParams configures the diffraction simulator.
+	SimulatorParams = xfel.SimulatorParams
+	// Dataset is an in-memory labelled image collection.
+	Dataset = dataset.Dataset
+	// Store is the local data commons of record trails and snapshots.
+	Store = commons.Store
+)
+
+// The paper's three beam intensities.
+const (
+	LowBeam    = xfel.LowBeam
+	MediumBeam = xfel.MediumBeam
+	HighBeam   = xfel.HighBeam
+)
+
+// Device is one simulated accelerator; Orchestrator.TrainModel charges
+// each epoch against its throughput.
+type Device = sched.Device
+
+// DefaultDevice returns a single accelerator with the default (V100-like)
+// effective throughput.
+func DefaultDevice() Device { return Device{ID: 0, Throughput: sched.DefaultThroughput} }
+
+// Run executes a search with the given configuration.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunMicro executes a search over the micro (cell-based) space — the
+// same workflow applied to NSGA-Net's second encoding.
+func RunMicro(cfg MicroConfig) (*Result, error) { return core.RunMicro(cfg) }
+
+// NewRealMicroTrainer returns a trainer that decodes micro cells into
+// CNNs and trains them by SGD on real data.
+func NewRealMicroTrainer(train, val *Dataset, cfg RealTrainerConfig) (MicroTrainer, error) {
+	return core.NewRealMicroTrainer(train, val, cfg)
+}
+
+// DefaultConfig returns the paper's evaluation setup for a trainer:
+// population 10, offspring 10, 10 generations, 25 epochs, the Table 1
+// prediction engine, one device.
+func DefaultConfig(trainer Trainer) Config { return core.DefaultConfig(trainer) }
+
+// DefaultEngineConfig returns Table 1: F(x)=a−b^(c−x), C_min=3, e_pred=25,
+// N=3, r=0.5, fitness bounds [0,100].
+func DefaultEngineConfig() EngineConfig { return predict.DefaultConfig() }
+
+// NewEngine builds a prediction engine for standalone use (for example to
+// augment a non-NSGA search; see examples/custom_nas).
+func NewEngine(cfg EngineConfig) (*Engine, error) { return predict.NewEngine(cfg) }
+
+// SurrogateTrainer returns the calibrated surrogate trainer for a beam
+// intensity: learning curves are drawn from the paper's own parametric
+// family with beam-dependent noise, so full paper-scale searches run in
+// seconds (see internal/simtrain for the calibration).
+func SurrogateTrainer(beam BeamIntensity) (Trainer, error) {
+	return simtrain.ForBeam(beam)
+}
+
+// NewRealTrainer returns a trainer that decodes genomes into CNNs and
+// trains them by SGD on real data.
+func NewRealTrainer(train, val *Dataset, cfg RealTrainerConfig) (Trainer, error) {
+	return core.NewRealTrainer(train, val, cfg)
+}
+
+// DefaultDecodeConfig mirrors the laptop-scale networks (32×32 inputs,
+// widths 8→16→32); PaperDecodeConfig mirrors the paper-scale ones.
+func DefaultDecodeConfig() DecodeConfig { return genome.DefaultDecodeConfig() }
+
+// PaperDecodeConfig returns the paper-scale decode configuration
+// (128×128 inputs, widths 16→32→64).
+func PaperDecodeConfig() DecodeConfig { return genome.PaperDecodeConfig() }
+
+// DefaultSimulatorParams returns the laptop-scale XFEL simulator
+// configuration (32×32 detectors).
+func DefaultSimulatorParams() SimulatorParams { return xfel.DefaultSimulatorParams() }
+
+// GenerateXFEL synthesises a balanced two-conformation diffraction
+// dataset at the given beam intensity.
+func GenerateXFEL(seed int64, count int, beam BeamIntensity, params SimulatorParams) (*Dataset, error) {
+	sim, err := xfel.NewSimulator(seed, params)
+	if err != nil {
+		return nil, err
+	}
+	pats, err := sim.GenerateBatch(seed+1, count, beam)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromPatterns(pats)
+}
+
+// OpenCommons opens (creating if needed) a data commons directory.
+func OpenCommons(dir string) (*Store, error) { return commons.Open(dir) }
+
+// ParetoFrontier returns the Pareto-optimal models of a run (maximal
+// accuracy, minimal MFLOPs), sorted by increasing MFLOPs.
+func ParetoFrontier(models []*ModelResult) []analyzer.Point {
+	return analyzer.ParetoFrontier(models)
+}
+
+// RandomGenome draws an architecture uniformly from the macro search
+// space (phases × nodesPerPhase), for custom searches.
+func RandomGenome(seed int64, phases, nodesPerPhase int) (*Genome, error) {
+	return genome.NewRandom(newRand(seed), phases, nodesPerPhase)
+}

@@ -1,0 +1,87 @@
+package a4nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicAPISurrogateSearch(t *testing.T) {
+	trainer, err := SurrogateTrainer(MediumBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(trainer)
+	cfg.NAS = NASConfig{PopulationSize: 4, Offspring: 4, Generations: 2, Seed: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 8 {
+		t.Fatalf("evaluated %d models", len(res.Models))
+	}
+	front := ParetoFrontier(res.Models)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+}
+
+func TestPublicAPIEngine(t *testing.T) {
+	eng, err := NewEngine(DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Config().EPred != 25 {
+		t.Fatalf("engine e_pred %d", eng.Config().EPred)
+	}
+	bad := DefaultEngineConfig()
+	bad.N = 0
+	if _, err := NewEngine(bad); err == nil {
+		t.Fatal("invalid engine config must fail")
+	}
+}
+
+func TestPublicAPIDatasetAndRealTrainer(t *testing.T) {
+	params := DefaultSimulatorParams()
+	params.Size = 16
+	ds, err := GenerateXFEL(5, 60, HighBeam, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 60 || ds.NumClasses != 2 {
+		t.Fatalf("dataset %d samples, %d classes", ds.Len(), ds.NumClasses)
+	}
+	train, val, err := ds.Split(0.8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := NewRealTrainer(train, val, RealTrainerConfig{
+		Decode: DecodeConfig{InShape: []int{1, 16, 16}, Widths: []int{4, 8, 8}, NumClasses: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainer.TrainSamples() != train.Len() {
+		t.Fatal("trainer sample count wrong")
+	}
+}
+
+func TestPublicAPIGenomeAndCommons(t *testing.T) {
+	g, err := RandomGenome(7, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenCommons(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.List()
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("fresh commons: %v, %v", ids, err)
+	}
+	if DefaultDecodeConfig().InShape[1] != 32 || PaperDecodeConfig().InShape[1] != 128 {
+		t.Fatal("decode configs wrong")
+	}
+}

@@ -1,0 +1,125 @@
+package a4nn
+
+// End-to-end tests of the command-line tools: build the binaries and
+// drive the xfelgen → a4nn → a4nn-analyze pipeline through their real
+// CLIs, the way a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the cmd binaries once into a shared temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in -short mode")
+	}
+	bins := buildTools(t, "xfelgen", "a4nn", "a4nn-analyze")
+	work := t.TempDir()
+	dsPath := filepath.Join(work, "medium.gob")
+	store := filepath.Join(work, "runs")
+
+	// 1. Generate a dataset with a preview.
+	out := run(t, bins["xfelgen"], "-beam", "medium", "-count", "40", "-size", "16",
+		"-seed", "3", "-out", dsPath, "-preview")
+	if !strings.Contains(out, "generated 40 medium-beam patterns") {
+		t.Fatalf("xfelgen output:\n%s", out)
+	}
+	if !strings.Contains(out, "conf-A") {
+		t.Fatalf("preview missing:\n%s", out)
+	}
+	if _, err := os.Stat(dsPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Surrogate search with a commons store (fast; real training is
+	//    covered by the library integration tests).
+	out = run(t, bins["a4nn"], "-beam", "medium", "-population", "4", "-offspring", "4",
+		"-generations", "2", "-seed", "5", "-store", store)
+	for _, want := range []string{"evaluated networks: 8", "Pareto-optimal models", "record trails written"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("a4nn output missing %q:\n%s", want, out)
+		}
+	}
+
+	// 3. Analyze the commons.
+	out = run(t, bins["a4nn-analyze"], "-store", store, "list")
+	ids := strings.Fields(strings.TrimSpace(out))
+	if len(ids) != 8 {
+		t.Fatalf("analyze list returned %d ids:\n%s", len(ids), out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "summary")
+	if !strings.Contains(out, "records:            8") {
+		t.Fatalf("summary output:\n%s", out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "show", ids[0])
+	if !strings.Contains(out, "fitness curve") || !strings.Contains(out, "genome:") {
+		t.Fatalf("show output:\n%s", out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "dot", ids[0])
+	if !strings.Contains(out, "digraph") {
+		t.Fatalf("dot output:\n%s", out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "top", "-n", "3")
+	if !strings.Contains(out, "fitness %") {
+		t.Fatalf("top output:\n%s", out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "correlate")
+	if !strings.Contains(out, "Pearson") {
+		t.Fatalf("correlate output:\n%s", out)
+	}
+	out = run(t, bins["a4nn-analyze"], "-store", store, "diversity")
+	if !strings.Contains(out, "Hamming") {
+		t.Fatalf("diversity output:\n%s", out)
+	}
+
+	// 4. Replay the search from the commons: identical accounting,
+	//    explicitly reported.
+	out = run(t, bins["a4nn"], "-beam", "medium", "-population", "4", "-offspring", "4",
+		"-generations", "2", "-seed", "5", "-replay", store)
+	if !strings.Contains(out, "replayed:           8") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI in -short mode")
+	}
+	bins := buildTools(t, "experiments")
+	out := run(t, bins["experiments"], "-table1", "-table2")
+	for _, want := range []string{"a-b^(c-x)", "population", "25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiments output missing %q:\n%s", want, out)
+		}
+	}
+}

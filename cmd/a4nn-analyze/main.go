@@ -1,0 +1,219 @@
+// Command a4nn-analyze is the CLI counterpart of the paper's
+// Jupyter-notebook analyzer (§2.4): it queries a data commons produced by
+// cmd/a4nn -store, summarises runs, inspects individual record trails
+// (learning-curve sparklines, prediction histories), and renders
+// architectures as ASCII or Graphviz DOT.
+//
+// Usage:
+//
+//	a4nn-analyze -store DIR list
+//	a4nn-analyze -store DIR summary [-beam low]
+//	a4nn-analyze -store DIR show MODEL-ID
+//	a4nn-analyze -store DIR dot MODEL-ID      # Graphviz to stdout
+//	a4nn-analyze -store DIR top [-n 5]        # best models by fitness
+//	a4nn-analyze -store DIR correlate         # accuracy vs FLOPs (§6)
+//	a4nn-analyze -store DIR diversity         # structural similarity (§6)
+//	a4nn-analyze -store DIR gens              # per-generation convergence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"a4nn/internal/analyzer"
+	"a4nn/internal/commons"
+	"a4nn/internal/core"
+	"a4nn/internal/genome"
+	"a4nn/internal/lineage"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "data commons directory (required)")
+		beam     = flag.String("beam", "", "filter by beam (low, medium, high)")
+		topN     = flag.Int("n", 5, "how many models 'top' lists")
+	)
+	flag.Parse()
+	if *storeDir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: a4nn-analyze -store DIR {list|summary|show ID|dot ID|top}")
+		os.Exit(2)
+	}
+	store, err := commons.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "list":
+		ids, err := store.List()
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case "summary":
+		sum, err := store.Summarize(*beam)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("records:            %d\n", sum.Records)
+		fmt.Printf("epochs trained:     %d (mean %.1f per network)\n", sum.TotalEpochsTrained, sum.MeanEpochsTrained)
+		fmt.Printf("terminated early:   %d\n", sum.TerminatedEarly)
+		fmt.Printf("mean final fitness: %.2f%%\n", sum.MeanFinalFitness)
+		fmt.Printf("best final fitness: %.2f%%\n", sum.BestFinalFitness)
+		fmt.Printf("simulated training: %.2f h\n", sum.TotalSimSeconds/3600)
+	case "show":
+		rec := mustRecord(store, flag.Arg(1))
+		stats := analyzer.Stats(rec)
+		fmt.Printf("model %s (generation %d, %s beam, device %d)\n", rec.ID, rec.Generation, rec.Beam, rec.DeviceID)
+		fmt.Printf("genome: %s\n", rec.Genome)
+		fmt.Printf("params: %d   FLOPs: %d (%.1f MFLOPs)\n", rec.NumParams, rec.FLOPs, float64(rec.FLOPs)/1e6)
+		fmt.Printf("epochs: %d   terminated early: %v   final fitness: %.2f%%\n",
+			stats.Epochs, stats.Terminated, stats.FinalFitness)
+		fmt.Printf("fitness curve:    %s\n", analyzer.Sparkline(rec.FitnessHistory()))
+		if preds := rec.PredictionHistory(); len(preds) > 0 {
+			fmt.Printf("prediction curve: %s (%d predictions)\n", analyzer.Sparkline(preds), len(preds))
+		}
+		g, err := genome.Parse(rec.Genome, rec.NodesPerPhase)
+		if err == nil {
+			if art, err := analyzer.GenomeASCII(g); err == nil {
+				fmt.Printf("\narchitecture:\n%s", art)
+			}
+		}
+		fmt.Printf("\n%s", rec.Architecture)
+	case "dot":
+		rec := mustRecord(store, flag.Arg(1))
+		g, err := genome.Parse(rec.Genome, rec.NodesPerPhase)
+		if err != nil {
+			fatal(err)
+		}
+		dot, err := analyzer.GenomeDOT(g, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dot)
+	case "top":
+		recs, err := store.Query(func(r *lineage.Record) bool {
+			return *beam == "" || r.Beam == *beam
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a].FinalFitness > recs[b].FinalFitness })
+		if len(recs) > *topN {
+			recs = recs[:*topN]
+		}
+		var rows [][]string
+		for _, r := range recs {
+			rows = append(rows, []string{
+				r.ID,
+				fmt.Sprintf("%.2f", r.FinalFitness),
+				fmt.Sprintf("%.1f", float64(r.FLOPs)/1e6),
+				fmt.Sprint(r.EpochsTrained()),
+				fmt.Sprint(r.Terminated),
+			})
+		}
+		fmt.Print(analyzer.FormatTable([]string{"model", "fitness %", "MFLOPs", "epochs", "terminated"}, rows))
+	case "gens":
+		models := loadModels(store, *beam)
+		var rows [][]string
+		for _, gs := range analyzer.ByGeneration(models) {
+			rows = append(rows, []string{
+				fmt.Sprint(gs.Generation),
+				fmt.Sprint(gs.Models),
+				fmt.Sprintf("%.2f", gs.BestFitness),
+				fmt.Sprintf("%.2f", gs.MeanFitness),
+				fmt.Sprintf("%.1f", gs.MeanMFLOPs),
+			})
+		}
+		fmt.Print(analyzer.FormatTable(
+			[]string{"generation", "models", "best fitness %", "mean fitness %", "mean MFLOPs"}, rows))
+	case "correlate":
+		models := loadModels(store, *beam)
+		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))
+	case "diversity":
+		models := loadModels(store, *beam)
+		var all []*genome.Genome
+		for _, m := range models {
+			if m.Genome != nil {
+				all = append(all, m.Genome)
+			}
+		}
+		rep, err := analyzer.Diversity(all)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("all evaluated:  %s\n", rep)
+		pareto := analyzer.ParetoGenomes(models)
+		if len(pareto) > 1 {
+			prep, err := analyzer.Diversity(pareto)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("Pareto set:     %s\n", prep)
+		} else {
+			fmt.Printf("Pareto set:     %d genome(s), diversity undefined\n", len(pareto))
+		}
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+// loadModels reconstructs ModelResults from the commons' record trails so
+// the analyzer's run-level statistics apply to stored runs.
+func loadModels(store *commons.Store, beam string) []*core.ModelResult {
+	recs, err := store.Query(func(r *lineage.Record) bool {
+		return beam == "" || r.Beam == beam
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no records in store"))
+	}
+	models := make([]*core.ModelResult, 0, len(recs))
+	skipped := 0
+	for _, r := range recs {
+		// Micro-space records carry a cell encoding; macro analyses skip
+		// them rather than fail.
+		g, err := genome.Parse(r.Genome, r.NodesPerPhase)
+		if err != nil {
+			skipped++
+			models = append(models, &core.ModelResult{
+				Record:  r,
+				Fitness: r.FinalFitness,
+				MFLOPs:  float64(r.FLOPs) / 1e6,
+			})
+			continue
+		}
+		models = append(models, &core.ModelResult{
+			Genome:  g,
+			Record:  r,
+			Fitness: r.FinalFitness,
+			MFLOPs:  float64(r.FLOPs) / 1e6,
+		})
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "a4nn-analyze: %d records are not macro genomes; structural analyses skip them\n", skipped)
+	}
+	return models
+}
+
+func mustRecord(store *commons.Store, id string) *lineage.Record {
+	if id == "" {
+		fatal(fmt.Errorf("missing model ID"))
+	}
+	rec, err := store.GetRecord(id)
+	if err != nil {
+		fatal(err)
+	}
+	return rec
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "a4nn-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command a4nn-serve exposes a data commons over HTTP — the shareable
+// interface counterpart of the paper's Dataverse deposit (§2.3): a
+// read-only JSON API plus an HTML index with per-model learning-curve
+// sparklines.
+//
+// Usage:
+//
+//	a4nn-serve -store ./runs -addr :8080
+//	curl localhost:8080/api/summary
+//	curl localhost:8080/api/records/<id>/dot | dot -Tsvg > model.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/webui"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "data commons directory (required)")
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: a4nn-serve -store DIR [-addr host:port]")
+		os.Exit(2)
+	}
+	store, err := commons.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := webui.New(store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving data commons %s on http://%s\n", *storeDir, *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "a4nn-serve:", err)
+	os.Exit(1)
+}

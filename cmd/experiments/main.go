@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's tables and figures from the
+// calibrated surrogate searches (plus real XPSI training for Table 3).
+//
+// Usage:
+//
+//	experiments [-seed N] [-table1] [-table2] [-fig2] [-fig6] [-fig7]
+//	            [-fig8] [-fig9] [-overhead] [-table3] [-all]
+//
+// With no selection flags, -all is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"a4nn/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed for all searches")
+		table1   = flag.Bool("table1", false, "print the prediction-engine configuration (Table 1)")
+		table2   = flag.Bool("table2", false, "print the NSGA-Net configuration (Table 2)")
+		fig2     = flag.Bool("fig2", false, "trace the prediction-convergence example (Figure 2)")
+		fig6     = flag.Bool("fig6", false, "print the Pareto frontiers (Figure 6)")
+		fig7     = flag.Bool("fig7", false, "print epoch savings (Figure 7)")
+		fig8     = flag.Bool("fig8", false, "print termination-epoch distributions (Figure 8)")
+		fig9     = flag.Bool("fig9", false, "print wall times and speedups (Figure 9)")
+		overhead = flag.Bool("overhead", false, "print measured engine overhead (§4.3.1)")
+		table3   = flag.Bool("table3", false, "print the XPSI comparison (Table 3)")
+		seeds    = flag.Int("seeds", 0, "additionally aggregate Figure 7 savings over N seeds")
+		jsonOut  = flag.Bool("json", false, "emit the whole evaluation as JSON instead of tables")
+		all      = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	any := *table1 || *table2 || *fig2 || *fig6 || *fig7 || *fig8 || *fig9 || *overhead || *table3 || *seeds > 1 || *jsonOut
+	if !any || *all {
+		*table1, *table2, *fig2, *fig6, *fig7, *fig8, *fig9, *overhead, *table3 =
+			true, true, true, true, true, true, true, true, true
+	}
+
+	if *table1 {
+		fmt.Println("Table 1: Prediction Engine Configuration")
+		fmt.Println(experiments.Table1())
+	}
+	if *table2 {
+		fmt.Println("Table 2: NSGA-Net Configuration")
+		fmt.Println(experiments.Table2())
+	}
+	if *fig2 {
+		r, err := experiments.Fig2(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig2(r))
+	}
+
+	if *seeds > 1 {
+		fmt.Fprintf(os.Stderr, "aggregating Figure 7 over %d seeds...\n", *seeds)
+		rows, err := experiments.MultiSeedFig7(*seed, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatMultiSeed(rows))
+	}
+
+	needSuite := *fig6 || *fig7 || *fig8 || *fig9 || *overhead || *table3 || *jsonOut
+	if !needSuite {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "running the evaluation grid (3 beams × {standalone, A4NN×1, A4NN×4}, 100 networks each)...")
+	suite, err := experiments.RunSuite(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		var t3 []experiments.Table3Row
+		if *table3 {
+			rows, err := suite.Table3(&experiments.Table3Options{Seed: *seed + 10})
+			if err != nil {
+				fatal(err)
+			}
+			t3 = rows
+		}
+		exp, err := suite.Export(t3)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := exp.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if *fig6 {
+		fmt.Println(experiments.FormatFig6(suite.Fig6()))
+		hv, err := suite.Fig6Hypervolume()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig6Quality(hv))
+	}
+	if *fig7 {
+		fmt.Println(experiments.FormatFig7(suite.Fig7()))
+	}
+	if *fig8 {
+		fmt.Println(experiments.FormatFig8(suite.Fig8()))
+	}
+	if *fig9 {
+		fmt.Println(experiments.FormatFig9(suite.Fig9()))
+	}
+	if *overhead {
+		fmt.Println(experiments.FormatOverhead(suite.Overhead()))
+	}
+	if *table3 {
+		fmt.Fprintln(os.Stderr, "training the real XPSI baseline per beam...")
+		rows, err := suite.Table3(&experiments.Table3Options{Seed: *seed + 10})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Composability (paper §2, §6): the prediction engine is decoupled from
+// the search, so it can augment any NAS — not just NSGA-Net. This example
+// plugs the engine into a plain random search over the same genome space:
+// each sampled architecture trains under Algorithm 1 and is cut short as
+// soon as its fitness prediction stabilises, and the search keeps the
+// best architecture by predicted fitness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a4nn"
+)
+
+func main() {
+	trainer, err := a4nn.SurrogateTrainer(a4nn.HighBeam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := a4nn.NewEngine(a4nn.DefaultEngineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Random search: sample 20 genomes, train each under the engine.
+	orch := &a4nn.Orchestrator{Engine: engine, MaxEpochs: 25}
+	const budget = 20
+	var (
+		bestFitness float64
+		bestGenome  *a4nn.Genome
+		totalEpochs int
+		terminated  int
+	)
+	for i := 0; i < budget; i++ {
+		g, err := a4nn.RandomGenome(int64(100+i), 3, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := trainer.NewModel(g, int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Train on a single simulated device; the orchestrator runs
+		// Algorithm 1 (train → predict → converged?).
+		outcome, err := orch.TrainModel(model, a4nn.DefaultDevice(), trainer.TrainSamples(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalEpochs += outcome.EpochsTrained
+		if outcome.Terminated {
+			terminated++
+		}
+		marker := " "
+		if outcome.FinalFitness > bestFitness {
+			bestFitness, bestGenome = outcome.FinalFitness, g
+			marker = "*"
+		}
+		fmt.Printf("%s genome %s  fitness %.2f%%  epochs %d  terminated=%v\n",
+			marker, g.Hash(), outcome.FinalFitness, outcome.EpochsTrained, outcome.Terminated)
+	}
+
+	fmt.Printf("\nrandom search with the A4NN engine: %d/%d epochs (%.0f%% saved), %d/%d terminated early\n",
+		totalEpochs, budget*25, 100*(1-float64(totalEpochs)/float64(budget*25)), terminated, budget)
+	fmt.Printf("best architecture %s at %.2f%% predicted fitness\n", bestGenome.Hash(), bestFitness)
+	fmt.Printf("genome: %s\n", bestGenome)
+}

@@ -1,0 +1,156 @@
+// Micro search space (advanced): this example composes the workflow's
+// pieces by hand — NSGA-II, the prediction engine's Algorithm-1
+// orchestrator, the device pool, and real training — over NSGA-Net's
+// *micro* (cell-based) search space, which the paper's evaluation does
+// not use but its NAS supports. It shows that every component is
+// independently reusable. For the one-call version of the same search,
+// use a4nn.RunMicro with a4nn.NewRealMicroTrainer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync/atomic"
+
+	"a4nn"
+	"a4nn/internal/dataset"
+	"a4nn/internal/genome"
+	"a4nn/internal/nn"
+	"a4nn/internal/nsga"
+	"a4nn/internal/sched"
+)
+
+// microModel adapts a decoded micro network to the orchestrator's
+// Trainable interface.
+type microModel struct {
+	net        *nn.Network
+	opt        nn.Optimizer
+	train, val *dataset.Dataset
+	rng        *rand.Rand
+	flops      int64
+}
+
+func (m *microModel) TrainEpoch() (a4nn.EpochMetrics, error) {
+	batches, err := m.train.Batches(32, m.rng)
+	if err != nil {
+		return a4nn.EpochMetrics{}, err
+	}
+	loss, err := nn.TrainEpoch(m.net, m.opt, batches)
+	if err != nil {
+		return a4nn.EpochMetrics{}, err
+	}
+	vb, err := m.val.Batches(32, nil)
+	if err != nil {
+		return a4nn.EpochMetrics{}, err
+	}
+	acc, err := nn.EvaluateClassifier(m.net, vb)
+	if err != nil {
+		return a4nn.EpochMetrics{}, err
+	}
+	return a4nn.EpochMetrics{TrainLoss: loss, ValAccuracy: acc, TrainAccuracy: acc}, nil
+}
+func (m *microModel) SaveState() ([]byte, error) { return m.net.SaveState() }
+func (m *microModel) FLOPs() int64               { return m.flops }
+func (m *microModel) NumParams() int             { return m.net.NumParams() }
+func (m *microModel) Describe() string           { return m.net.Describe() }
+
+// microOps plugs the micro variation operators into NSGA-II.
+type microOps struct{ nodes int }
+
+func (o microOps) Random(rng *rand.Rand) (*genome.MicroGenome, error) {
+	return genome.NewRandomMicro(rng, o.nodes)
+}
+func (o microOps) Crossover(rng *rand.Rand, a, b *genome.MicroGenome) (*genome.MicroGenome, error) {
+	return genome.CrossoverMicro(rng, a, b)
+}
+func (o microOps) Mutate(rng *rand.Rand, g *genome.MicroGenome) (*genome.MicroGenome, error) {
+	return g.Mutate(rng, 0.15), nil
+}
+
+func main() {
+	const maxEpochs = 10
+
+	// Data: a small high-beam diffraction set.
+	params := a4nn.DefaultSimulatorParams()
+	params.Size = 16
+	ds, err := a4nn.GenerateXFEL(7, 200, a4nn.HighBeam, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, val, err := ds.Split(0.8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The prediction engine, retargeted to this budget.
+	engineCfg := a4nn.DefaultEngineConfig()
+	engineCfg.EPred = maxEpochs
+	engine, err := a4nn.NewEngine(engineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := sched.NewPool(2, 0) // two simulated devices
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode := genome.DecodeConfig{InShape: []int{1, 16, 16}, Widths: []int{6, 12}, NumClasses: 2}
+
+	var totalEpochs, terminated, built atomic.Int64 // tasks run on two devices concurrently
+	evaluator := nsga.EvaluatorFunc[*genome.MicroGenome](func(gen int, cands []*genome.MicroGenome) ([][]float64, error) {
+		objs := make([][]float64, len(cands))
+		tasks := make([]sched.Task, len(cands))
+		for i, g := range cands {
+			i, g := i, g
+			tasks[i] = func(dev sched.Device) (float64, error) {
+				rng := rand.New(rand.NewSource(int64(gen*100 + i)))
+				net, err := genome.DecodeMicro(g, decode, rng)
+				if err != nil {
+					return 0, err
+				}
+				opt, err := nn.NewSGD(0.08, 0.9, 0)
+				if err != nil {
+					return 0, err
+				}
+				flops, err := net.FLOPs()
+				if err != nil {
+					return 0, err
+				}
+				model := &microModel{net: net, opt: opt, train: train, val: val, rng: rng, flops: flops}
+				orch := &a4nn.Orchestrator{Engine: engine, MaxEpochs: maxEpochs}
+				out, err := orch.TrainModel(model, dev, train.Len(), nil)
+				if err != nil {
+					return 0, err
+				}
+				totalEpochs.Add(int64(out.EpochsTrained))
+				built.Add(1)
+				if out.Terminated {
+					terminated.Add(1)
+				}
+				objs[i] = []float64{100 - out.FinalFitness, float64(flops) / 1e6}
+				fmt.Printf("gen %d cell %-40s fitness %5.1f%%  %.2f MFLOPs  epochs %d\n",
+					gen, g, out.FinalFitness, float64(flops)/1e6, out.EpochsTrained)
+				return out.SimSeconds, nil
+			}
+		}
+		if _, err := pool.RunGeneration(tasks); err != nil {
+			return nil, err
+		}
+		return objs, nil
+	})
+
+	res, err := nsga.Run[*genome.MicroGenome](
+		nsga.Config{PopulationSize: 4, Offspring: 4, Generations: 2, Seed: 11},
+		microOps{nodes: 3}, evaluator)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	n, e := built.Load(), totalEpochs.Load()
+	fmt.Printf("\nmicro search: %d cells trained, %d/%d epochs (%.0f%% saved), %d terminated early\n",
+		n, e, n*maxEpochs, 100*(1-float64(e)/float64(n*maxEpochs)), terminated.Load())
+	fmt.Println("final population (fitness% / MFLOPs):")
+	for _, ind := range res.Population {
+		fmt.Printf("  %-40s %5.1f%%  %.2f\n", ind.Payload, 100-ind.Objectives[0], ind.Objectives[1])
+	}
+}

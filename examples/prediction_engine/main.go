@@ -1,0 +1,52 @@
+// Standalone use of the parametric prediction engine (paper §2.1,
+// Figure 2): feed a learning curve to the engine epoch by epoch, watch
+// its extrapolations of the epoch-25 fitness, and stop as soon as the
+// prediction analyzer declares convergence. The curve here is a recorded
+// trace shaped like a real medium-beam run; replace it with your own
+// validation-accuracy history to decide when to stop a training job.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a4nn"
+	"a4nn/internal/predict"
+)
+
+func main() {
+	// The engine as configured in Table 1 of the paper.
+	cfg := a4nn.DefaultEngineConfig()
+	engine, err := a4nn.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: F(x)=%s, C_min=%d, e_pred=%d, N=%d, r=%v\n\n",
+		cfg.Family.Name(), cfg.CMin, cfg.EPred, cfg.N, cfg.R)
+
+	// A recorded validation-accuracy history (percent per epoch).
+	curve := []float64{
+		57.8, 71.2, 79.5, 84.8, 88.1, 90.0, 91.4, 92.1, 92.8, 93.0,
+		93.4, 93.3, 93.6, 93.8, 93.7, 93.9, 94.0, 93.9, 94.1, 94.0,
+		94.1, 94.2, 94.1, 94.2, 94.2,
+	}
+
+	tracker := predict.NewTracker(engine)
+	for epoch, fitness := range curve {
+		converged := tracker.Observe(fitness)
+		line := fmt.Sprintf("epoch %2d  fitness %5.1f%%", epoch+1, fitness)
+		if n := len(tracker.P); n > 0 && tracker.PredEpochs[n-1] == epoch+1 {
+			line += fmt.Sprintf("  predicted@%d: %5.2f%%", cfg.EPred, tracker.P[n-1])
+		}
+		fmt.Println(line)
+		if converged {
+			final, _ := tracker.FinalFitness()
+			fmt.Printf("\npredictions converged at epoch %d — terminate training.\n", epoch+1)
+			fmt.Printf("fitness reported to the search: %.2f%% (vs %.1f%% actually reached at epoch 25)\n",
+				final, curve[len(curve)-1])
+			fmt.Printf("epochs saved: %d of %d\n", len(curve)-(epoch+1), len(curve))
+			return
+		}
+	}
+	fmt.Println("\npredictions never converged; the network trained its full budget")
+}

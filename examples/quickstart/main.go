@@ -1,0 +1,40 @@
+// Quickstart: run a full A4NN search (prediction engine + NSGA-II +
+// resource manager) with the paper's Table 1/2 configuration on the
+// calibrated surrogate trainer, then print what the workflow saved and
+// the Pareto-optimal architectures it found.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"a4nn"
+)
+
+func main() {
+	trainer, err := a4nn.SurrogateTrainer(a4nn.MediumBeam)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := a4nn.DefaultConfig(trainer) // Tables 1 & 2: 100 networks × ≤25 epochs
+	cfg.Beam = "medium"
+
+	result, err := a4nn.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budget := len(result.Models) * cfg.MaxEpochs
+	fmt.Printf("evaluated %d networks\n", len(result.Models))
+	fmt.Printf("epochs: %d of %d (%.1f%% saved by early termination)\n",
+		result.TotalEpochs, budget, 100*(1-float64(result.TotalEpochs)/float64(budget)))
+	fmt.Printf("terminated early: %d networks\n", result.TerminatedEarly)
+	fmt.Printf("simulated wall time: %.1f hours on %d device(s)\n",
+		result.Totals.WallSeconds/3600, result.Totals.Devices)
+
+	fmt.Println("\nPareto-optimal models (accuracy vs MFLOPs):")
+	for _, p := range a4nn.ParetoFrontier(result.Models) {
+		fmt.Printf("  %s  %.2f%%  %.1f MFLOPs\n", p.ID, p.Accuracy, p.MFLOPs)
+	}
+}

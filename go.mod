@@ -1,0 +1,3 @@
+module a4nn
+
+go 1.22

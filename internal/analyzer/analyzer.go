@@ -1,0 +1,217 @@
+// Package analyzer provides the analysis layer of the A4NN workflow
+// (paper §2.4): Pareto-frontier extraction for the accuracy-vs-FLOPs
+// plots (Figure 6), termination-epoch histograms (Figure 8), epoch and
+// wall-time aggregation (Figures 7 and 9), learning-curve sparklines, and
+// architecture visualisation (ASCII and Graphviz DOT) — the capabilities
+// the paper exposes through its Jupyter-notebook analyzer, here exposed
+// as a library plus the cmd/a4nn-analyze CLI.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"a4nn/internal/core"
+	"a4nn/internal/lineage"
+	"a4nn/internal/nsga"
+)
+
+// Point is one model on an accuracy/FLOPs plot.
+type Point struct {
+	ID       string
+	Accuracy float64 // percent
+	MFLOPs   float64
+}
+
+// ParetoFrontier returns the Pareto-optimal models (maximal accuracy,
+// minimal MFLOPs) of a run, sorted by increasing MFLOPs — the points of
+// Figure 6.
+func ParetoFrontier(models []*core.ModelResult) []Point {
+	if len(models) == 0 {
+		return nil
+	}
+	objs := make([][]float64, len(models))
+	for i, m := range models {
+		objs[i] = []float64{m.MFLOPs, 100 - m.Fitness}
+	}
+	idx := nsga.ParetoFront(objs)
+	pts := make([]Point, 0, len(idx))
+	for _, i := range idx {
+		pts = append(pts, Point{ID: models[i].Record.ID, Accuracy: models[i].Fitness, MFLOPs: models[i].MFLOPs})
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].MFLOPs < pts[b].MFLOPs })
+	return pts
+}
+
+// BestAccuracy returns the highest fitness in the run.
+func BestAccuracy(models []*core.ModelResult) float64 {
+	best := 0.0
+	for _, m := range models {
+		if m.Fitness > best {
+			best = m.Fitness
+		}
+	}
+	return best
+}
+
+// Bin is one bar of a histogram over integer values.
+type Bin struct {
+	Lo, Hi int // inclusive bounds
+	Count  int
+}
+
+// HistogramInts bins values into equal-width bins covering [lo, hi].
+// Values outside the range are clamped into the boundary bins.
+func HistogramInts(values []int, lo, hi, width int) ([]Bin, error) {
+	if width < 1 || hi < lo {
+		return nil, fmt.Errorf("analyzer: invalid histogram range [%d,%d] width %d", lo, hi, width)
+	}
+	nbins := (hi - lo + width) / width
+	bins := make([]Bin, nbins)
+	for i := range bins {
+		bins[i].Lo = lo + i*width
+		bins[i].Hi = bins[i].Lo + width - 1
+		if bins[i].Hi > hi {
+			bins[i].Hi = hi
+		}
+	}
+	for _, v := range values {
+		i := (v - lo) / width
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		bins[i].Count++
+	}
+	return bins, nil
+}
+
+// RenderHistogram draws bins as a horizontal ASCII bar chart.
+func RenderHistogram(bins []Bin) string {
+	maxCount := 0
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = b.Count * 40 / maxCount
+		}
+		fmt.Fprintf(&sb, "%3d-%-3d |%-40s %d\n", b.Lo, b.Hi, strings.Repeat("#", barLen), b.Count)
+	}
+	return sb.String()
+}
+
+// Sparkline renders a fitness curve as a compact unicode strip, useful
+// for scanning learning-curve shapes in a terminal.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		i := 0
+		if span > 0 {
+			i = int((v - lo) / span * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[i])
+	}
+	return sb.String()
+}
+
+// MeanInt returns the arithmetic mean of integer values (0 when empty).
+func MeanInt(values []int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0
+	for _, v := range values {
+		s += v
+	}
+	return float64(s) / float64(len(values))
+}
+
+// FormatTable renders rows as an aligned text table with a header rule.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CurveStats summarises one record's learning curve.
+type CurveStats struct {
+	ID            string
+	Epochs        int
+	Terminated    bool
+	FinalFitness  float64
+	BestObserved  float64
+	Predictions   int
+	MeanEpochSecs float64
+}
+
+// Stats extracts curve statistics from a record.
+func Stats(r *lineage.Record) CurveStats {
+	s := CurveStats{
+		ID:           r.ID,
+		Epochs:       r.EpochsTrained(),
+		Terminated:   r.Terminated,
+		FinalFitness: r.FinalFitness,
+		Predictions:  len(r.PredictionHistory()),
+	}
+	for _, e := range r.Epochs {
+		if e.ValAccuracy > s.BestObserved {
+			s.BestObserved = e.ValAccuracy
+		}
+		s.MeanEpochSecs += e.SimSeconds
+	}
+	if s.Epochs > 0 {
+		s.MeanEpochSecs /= float64(s.Epochs)
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"a4nn/internal/core"
+	"a4nn/internal/genome"
+	"a4nn/internal/lineage"
+)
+
+func model(id string, acc, mflops float64) *core.ModelResult {
+	return &core.ModelResult{
+		Record:  &lineage.Record{ID: id, Genome: "0000000"},
+		Fitness: acc,
+		MFLOPs:  mflops,
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	models := []*core.ModelResult{
+		model("a", 90, 100), // dominated by c (higher acc, lower flops)
+		model("b", 99, 500),
+		model("c", 95, 80),
+		model("d", 97, 200),
+		model("e", 94, 600), // dominated
+	}
+	front := ParetoFrontier(models)
+	ids := make([]string, len(front))
+	for i, p := range front {
+		ids[i] = p.ID
+	}
+	want := []string{"c", "d", "b"} // sorted by MFLOPs
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("front = %v, want %v", ids, want)
+	}
+	if ParetoFrontier(nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+	if got := BestAccuracy(models); got != 99 {
+		t.Fatalf("best accuracy %v", got)
+	}
+}
+
+func TestHistogramInts(t *testing.T) {
+	bins, err := HistogramInts([]int{5, 6, 7, 10, 24, 25, 30, -2}, 5, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 5 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	// 5,6,7,-2 clamp → bin0 has 4; 10 → bin1; 24,25 → bin4 gets 24? bins:
+	// [5-9][10-14][15-19][20-24][25-25]; 24→bin3; 25,30→bin4.
+	if bins[0].Count != 4 || bins[1].Count != 1 || bins[3].Count != 1 || bins[4].Count != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	if _, err := HistogramInts(nil, 10, 5, 1); err == nil {
+		t.Fatal("inverted range must fail")
+	}
+	if _, err := HistogramInts(nil, 0, 5, 0); err == nil {
+		t.Fatal("zero width must fail")
+	}
+	out := RenderHistogram(bins)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "5-9") {
+		t.Fatalf("histogram render:\n%s", out)
+	}
+	if RenderHistogram(nil) != "" {
+		t.Fatal("empty histogram must render empty")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 50, 100})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline extremes %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat sparkline %q", flat)
+		}
+	}
+}
+
+func TestMeanInt(t *testing.T) {
+	if MeanInt(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if MeanInt([]int{2, 4, 6}) != 4 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"beam", "saved"}, [][]string{{"low", "13.3%"}, {"medium", "34.1%"}})
+	if !strings.Contains(out, "beam") || !strings.Contains(out, "medium") {
+		t.Fatalf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := &lineage.Record{
+		ID: "m", Genome: "g",
+		Epochs: []lineage.EpochEntry{
+			{Epoch: 1, ValAccuracy: 60, SimSeconds: 4},
+			{Epoch: 2, ValAccuracy: 80, SimSeconds: 4},
+			{Epoch: 3, ValAccuracy: 75, Prediction: 85, HasPrediction: true, SimSeconds: 4},
+		},
+		Terminated: true, TerminationEpoch: 3, FinalFitness: 85,
+	}
+	s := Stats(r)
+	if s.Epochs != 3 || !s.Terminated || s.FinalFitness != 85 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.BestObserved != 80 || s.Predictions != 1 || s.MeanEpochSecs != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestGenomeDOT(t *testing.T) {
+	g, err := genome.Parse("1100111|0000000|1000001", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := GenomeDOT(g, []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "cluster_0", "proj 1x1", "maxpool", "dense softmax", "skip", "w=16"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	bad := &genome.Genome{NodesPerPhase: 4, Phases: [][]byte{{9}}}
+	if _, err := GenomeDOT(bad, nil); err == nil {
+		t.Fatal("invalid genome must fail")
+	}
+}
+
+func TestGenomeASCII(t *testing.T) {
+	g, err := genome.Parse("1010001|0000000|1111111", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GenomeASCII(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "phase 0: in->0, 0->1, 1->2") {
+		t.Fatalf("ascii:\n%s", out)
+	}
+	if !strings.Contains(out, "fallback") {
+		t.Fatalf("empty phase must note fallback:\n%s", out)
+	}
+	if !strings.Contains(out, "+skip") {
+		t.Fatalf("skip bit missing:\n%s", out)
+	}
+	bad := &genome.Genome{NodesPerPhase: 4}
+	if _, err := GenomeASCII(bad); err == nil {
+		t.Fatal("invalid genome must fail")
+	}
+}

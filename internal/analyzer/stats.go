@@ -1,0 +1,241 @@
+package analyzer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"a4nn/internal/core"
+	"a4nn/internal/genome"
+)
+
+// This file answers the analysis questions the paper's conclusions pose
+// for the data commons (§6): "Is there a significant correlation between
+// high FLOPS and high validation accuracy?" and "Are there structural
+// similarities between successful architectures produced by NAS?".
+
+// Pearson returns the Pearson linear correlation coefficient of two
+// equal-length samples. It returns NaN for fewer than two points or
+// zero-variance inputs.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient (Pearson on
+// ranks, with average ranks for ties).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(v []float64) []float64 {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	out := make([]float64, len(v))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CorrelationReport relates FLOPs to accuracy across a run's models.
+type CorrelationReport struct {
+	N        int
+	Pearson  float64
+	Spearman float64
+}
+
+// AccuracyFLOPsCorrelation computes the correlation between model MFLOPs
+// and validation accuracy over all evaluated models.
+func AccuracyFLOPsCorrelation(models []*core.ModelResult) CorrelationReport {
+	xs := make([]float64, len(models))
+	ys := make([]float64, len(models))
+	for i, m := range models {
+		xs[i] = m.MFLOPs
+		ys[i] = m.Fitness
+	}
+	return CorrelationReport{N: len(models), Pearson: Pearson(xs, ys), Spearman: Spearman(xs, ys)}
+}
+
+// String renders the report.
+func (r CorrelationReport) String() string {
+	return fmt.Sprintf("accuracy vs FLOPs over %d models: Pearson r=%.3f, Spearman ρ=%.3f",
+		r.N, r.Pearson, r.Spearman)
+}
+
+// HammingDistance counts differing bits between two genomes of identical
+// shape; it is the natural structural distance of the NSGA-Net encoding.
+func HammingDistance(a, b *genome.Genome) (int, error) {
+	if a.NodesPerPhase != b.NodesPerPhase || len(a.Phases) != len(b.Phases) {
+		return 0, fmt.Errorf("analyzer: genomes of different shapes (%d/%d phases)", len(a.Phases), len(b.Phases))
+	}
+	d := 0
+	for p := range a.Phases {
+		if len(a.Phases[p]) != len(b.Phases[p]) {
+			return 0, fmt.Errorf("analyzer: phase %d length mismatch", p)
+		}
+		for i := range a.Phases[p] {
+			if a.Phases[p][i] != b.Phases[p][i] {
+				d++
+			}
+		}
+	}
+	return d, nil
+}
+
+// DiversityReport summarises the structural spread of a set of genomes.
+type DiversityReport struct {
+	N int
+	// MeanPairwiseHamming is the average Hamming distance over all pairs.
+	MeanPairwiseHamming float64
+	// Bits is the genome length, for normalising the distance.
+	Bits int
+	// MeanActiveNodes is the average number of active DAG nodes.
+	MeanActiveNodes float64
+	// SkipRate is the fraction of phases with the residual bit set.
+	SkipRate float64
+}
+
+// Diversity measures the structural diversity of genomes (all must share
+// a shape). The paper's §6 asks whether successful architectures are
+// structurally similar: comparing the diversity of the Pareto set against
+// the whole population answers it quantitatively.
+func Diversity(genomes []*genome.Genome) (DiversityReport, error) {
+	rep := DiversityReport{N: len(genomes)}
+	if len(genomes) == 0 {
+		return rep, fmt.Errorf("analyzer: no genomes")
+	}
+	rep.Bits = len(genomes[0].Phases) * genome.BitsPerPhase(genomes[0].NodesPerPhase)
+	pairs := 0
+	for i := 0; i < len(genomes); i++ {
+		for j := i + 1; j < len(genomes); j++ {
+			d, err := HammingDistance(genomes[i], genomes[j])
+			if err != nil {
+				return rep, err
+			}
+			rep.MeanPairwiseHamming += float64(d)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		rep.MeanPairwiseHamming /= float64(pairs)
+	}
+	phases := 0
+	for _, g := range genomes {
+		for p := range g.Phases {
+			rep.MeanActiveNodes += float64(g.ActiveNodes(p))
+			if g.SkipBit(p) {
+				rep.SkipRate++
+			}
+			phases++
+		}
+	}
+	if phases > 0 {
+		rep.MeanActiveNodes = rep.MeanActiveNodes * float64(len(genomes[0].Phases)) / float64(phases)
+		rep.SkipRate /= float64(phases)
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r DiversityReport) String() string {
+	norm := 0.0
+	if r.Bits > 0 {
+		norm = r.MeanPairwiseHamming / float64(r.Bits)
+	}
+	return fmt.Sprintf("%d genomes: mean pairwise Hamming %.2f/%d bits (%.0f%%), mean active nodes %.1f, skip rate %.0f%%",
+		r.N, r.MeanPairwiseHamming, r.Bits, 100*norm, r.MeanActiveNodes, 100*r.SkipRate)
+}
+
+// ParetoGenomes extracts the genomes of a run's Pareto-optimal models.
+func ParetoGenomes(models []*core.ModelResult) []*genome.Genome {
+	front := ParetoFrontier(models)
+	ids := make(map[string]bool, len(front))
+	for _, p := range front {
+		ids[p.ID] = true
+	}
+	var out []*genome.Genome
+	for _, m := range models {
+		if ids[m.Record.ID] && m.Genome != nil {
+			out = append(out, m.Genome)
+		}
+	}
+	return out
+}
+
+// GenerationStats summarises one NAS generation's fitness.
+type GenerationStats struct {
+	Generation               int
+	Models                   int
+	BestFitness, MeanFitness float64
+	MeanMFLOPs               float64
+}
+
+// ByGeneration aggregates models per NAS generation, the search's
+// convergence trajectory ("what is the performance of our augmented
+// search", paper §4).
+func ByGeneration(models []*core.ModelResult) []GenerationStats {
+	byGen := map[int]*GenerationStats{}
+	maxGen := 0
+	for _, m := range models {
+		g := m.Record.Generation
+		s, ok := byGen[g]
+		if !ok {
+			s = &GenerationStats{Generation: g}
+			byGen[g] = s
+		}
+		s.Models++
+		s.MeanFitness += m.Fitness
+		s.MeanMFLOPs += m.MFLOPs
+		if m.Fitness > s.BestFitness {
+			s.BestFitness = m.Fitness
+		}
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+	var out []GenerationStats
+	for g := 0; g <= maxGen; g++ {
+		if s, ok := byGen[g]; ok {
+			s.MeanFitness /= float64(s.Models)
+			s.MeanMFLOPs /= float64(s.Models)
+			out = append(out, *s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package analyzer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"a4nn/internal/core"
+	"a4nn/internal/genome"
+	"a4nn/internal/lineage"
+)
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(x, []float64{2, 4, 6, 8, 10}); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive r = %v", r)
+	}
+	if r := Pearson(x, []float64{10, 8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative r = %v", r)
+	}
+	if !math.IsNaN(Pearson(x, []float64{3, 3, 3, 3, 3})) {
+		t.Fatal("zero variance must give NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Fatal("n<2 must give NaN")
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 2})) {
+		t.Fatal("length mismatch must give NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman sees through monotone nonlinearity; Pearson does not fully.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	if rho := Spearman(x, y); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("monotone Spearman = %v, want 1", rho)
+	}
+	// Ties get average ranks.
+	if rho := Spearman([]float64{1, 1, 2}, []float64{1, 1, 2}); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("tied Spearman = %v", rho)
+	}
+}
+
+// Property: Pearson is symmetric and within [-1, 1].
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r1, r2 := Pearson(x, y), Pearson(y, x)
+		if math.IsNaN(r1) {
+			return math.IsNaN(r2)
+		}
+		return math.Abs(r1-r2) < 1e-12 && r1 >= -1-1e-12 && r1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func statsModel(id string, g *genome.Genome, acc, mflops float64) *core.ModelResult {
+	return &core.ModelResult{
+		Genome:  g,
+		Record:  &lineage.Record{ID: id, Genome: g.String()},
+		Fitness: acc,
+		MFLOPs:  mflops,
+	}
+}
+
+func TestAccuracyFLOPsCorrelation(t *testing.T) {
+	g, _ := genome.Parse("1010001", 4)
+	models := []*core.ModelResult{
+		statsModel("a", g, 80, 100),
+		statsModel("b", g, 90, 200),
+		statsModel("c", g, 95, 300),
+		statsModel("d", g, 97, 400),
+	}
+	rep := AccuracyFLOPsCorrelation(models)
+	if rep.N != 4 || rep.Pearson < 0.9 || rep.Spearman != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a, _ := genome.Parse("1010001|0000000", 4)
+	b, _ := genome.Parse("1010001|0000000", 4)
+	d, err := HammingDistance(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical genomes d=%d err=%v", d, err)
+	}
+	c, _ := genome.Parse("0010001|0000011", 4)
+	d, err = HammingDistance(a, c)
+	if err != nil || d != 3 {
+		t.Fatalf("d=%d err=%v, want 3", d, err)
+	}
+	short, _ := genome.Parse("1010001", 4)
+	if _, err := HammingDistance(a, short); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+}
+
+func TestDiversity(t *testing.T) {
+	a, _ := genome.Parse("1111111|1111111", 4)
+	b, _ := genome.Parse("0000000|0000000", 4)
+	rep, err := Diversity([]*genome.Genome{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 2 || rep.Bits != 14 || rep.MeanPairwiseHamming != 14 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.SkipRate != 0.5 {
+		t.Fatalf("skip rate %v", rep.SkipRate)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty string")
+	}
+	if _, err := Diversity(nil); err == nil {
+		t.Fatal("empty set must fail")
+	}
+}
+
+func TestParetoGenomes(t *testing.T) {
+	g1, _ := genome.Parse("1010001", 4)
+	g2, _ := genome.Parse("1111111", 4)
+	g3, _ := genome.Parse("0000000", 4)
+	models := []*core.ModelResult{
+		statsModel("a", g1, 95, 100), // pareto
+		statsModel("b", g2, 99, 300), // pareto
+		statsModel("c", g3, 90, 200), // dominated by a
+	}
+	got := ParetoGenomes(models)
+	if len(got) != 2 {
+		t.Fatalf("got %d pareto genomes", len(got))
+	}
+}
+
+func TestByGeneration(t *testing.T) {
+	g, _ := genome.Parse("1010001", 4)
+	mk := func(gen int, acc, mflops float64) *core.ModelResult {
+		m := statsModel("x", g, acc, mflops)
+		m.Record.Generation = gen
+		return m
+	}
+	stats := ByGeneration([]*core.ModelResult{
+		mk(0, 80, 100), mk(0, 90, 200),
+		mk(2, 95, 150), mk(2, 85, 250),
+	})
+	if len(stats) != 2 {
+		t.Fatalf("stats %v", stats)
+	}
+	if stats[0].Generation != 0 || stats[0].BestFitness != 90 || stats[0].MeanFitness != 85 {
+		t.Fatalf("gen0 %+v", stats[0])
+	}
+	if stats[1].Generation != 2 || stats[1].Models != 2 || stats[1].MeanMFLOPs != 200 {
+		t.Fatalf("gen2 %+v", stats[1])
+	}
+	if ByGeneration(nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+}

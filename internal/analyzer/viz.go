@@ -1,0 +1,138 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"a4nn/internal/genome"
+)
+
+// GenomeDOT renders a genome's phase DAGs as a Graphviz digraph, the
+// equivalent of the paper's Figure 3/10 architecture visualisations.
+// widths labels each phase with its channel count; pass nil to omit.
+func GenomeDOT(g *genome.Genome, widths []int) (string, error) {
+	if err := g.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph a4nn {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n")
+	sb.WriteString("  input [shape=oval];\n")
+	prevOut := "input"
+	for p := range g.Phases {
+		label := fmt.Sprintf("phase %d", p)
+		if widths != nil && p < len(widths) {
+			label = fmt.Sprintf("phase %d (w=%d)", p, widths[p])
+		}
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=%q;\n", p, label)
+		proj := fmt.Sprintf("p%d_proj", p)
+		fmt.Fprintf(&sb, "    %s [label=\"proj 1x1\"];\n", proj)
+		active, preds, outs, skip := phaseStructure(g, p)
+		for j, a := range active {
+			if !a {
+				continue
+			}
+			fmt.Fprintf(&sb, "    p%d_n%d [label=\"conv3x3 #%d\"];\n", p, j, j)
+		}
+		sb.WriteString("  }\n")
+		fmt.Fprintf(&sb, "  %s -> %s;\n", prevOut, proj)
+		sum := fmt.Sprintf("p%d_out", p)
+		anyActive := false
+		for j, a := range active {
+			if !a {
+				continue
+			}
+			anyActive = true
+			if len(preds[j]) == 0 {
+				fmt.Fprintf(&sb, "  %s -> p%d_n%d;\n", proj, p, j)
+			}
+			for _, i := range preds[j] {
+				fmt.Fprintf(&sb, "  p%d_n%d -> p%d_n%d;\n", p, i, p, j)
+			}
+		}
+		if anyActive {
+			fmt.Fprintf(&sb, "  %s [label=\"+\", shape=circle];\n", sum)
+			for _, j := range outs {
+				fmt.Fprintf(&sb, "  p%d_n%d -> %s;\n", p, j, sum)
+			}
+			if skip {
+				fmt.Fprintf(&sb, "  %s -> %s [style=dashed, label=\"skip\"];\n", proj, sum)
+			}
+			prevOut = sum
+		} else {
+			prevOut = proj
+		}
+		if p < len(g.Phases)-1 {
+			pool := fmt.Sprintf("pool%d", p)
+			fmt.Fprintf(&sb, "  %s [label=\"maxpool 2x2\"];\n  %s -> %s;\n", pool, prevOut, pool)
+			prevOut = pool
+		}
+	}
+	fmt.Fprintf(&sb, "  gap [label=\"global avg pool\"];\n  %s -> gap;\n", prevOut)
+	sb.WriteString("  dense [label=\"dense softmax\"];\n  gap -> dense;\n}\n")
+	return sb.String(), nil
+}
+
+// GenomeASCII renders a genome's phase connectivity as compact text:
+// one line per phase listing node edges, sinks, and the skip bit.
+func GenomeASCII(g *genome.Genome) (string, error) {
+	if err := g.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for p := range g.Phases {
+		active, preds, outs, skip := phaseStructure(g, p)
+		var edges []string
+		for j, a := range active {
+			if !a {
+				continue
+			}
+			if len(preds[j]) == 0 {
+				edges = append(edges, fmt.Sprintf("in->%d", j))
+			}
+			for _, i := range preds[j] {
+				edges = append(edges, fmt.Sprintf("%d->%d", i, j))
+			}
+		}
+		if len(edges) == 0 {
+			edges = append(edges, "in->out (fallback)")
+		}
+		var sinks []string
+		for _, j := range outs {
+			sinks = append(sinks, fmt.Sprint(j))
+		}
+		fmt.Fprintf(&sb, "phase %d: %s", p, strings.Join(edges, ", "))
+		if len(sinks) > 0 {
+			fmt.Fprintf(&sb, " | out: %s", strings.Join(sinks, ","))
+		}
+		if skip {
+			sb.WriteString(" | +skip")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// phaseStructure recomputes the phase DAG from the public genome API so
+// the analyzer stays decoupled from genome internals.
+func phaseStructure(g *genome.Genome, phase int) (active []bool, preds [][]int, outs []int, skip bool) {
+	n := g.NodesPerPhase
+	bits := g.Phases[phase]
+	active = make([]bool, n)
+	preds = make([][]int, n)
+	hasSucc := make([]bool, n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if bits[j*(j-1)/2+i] == 1 {
+				active[i], active[j] = true, true
+				preds[j] = append(preds[j], i)
+				hasSucc[i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if active[i] && !hasSucc[i] {
+			outs = append(outs, i)
+		}
+	}
+	return active, preds, outs, g.SkipBit(phase)
+}

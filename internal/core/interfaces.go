@@ -1,0 +1,80 @@
+// Package core composes the A4NN workflow (paper §2): an existing NAS
+// (internal/nsga over the NSGA-Net search space of internal/genome), the
+// decoupled parametric fitness-prediction engine (internal/predict), the
+// workflow orchestrator that runs Algorithm 1 around each network's
+// training loop, the resource manager (internal/sched) that spreads a
+// generation across accelerators, and the lineage tracker / data commons
+// (internal/lineage, internal/commons) that record every network's full
+// training lifespan.
+//
+// The NAS, the trainer, and the prediction engine are all pluggable —
+// the decoupling that makes the workflow composable: Run with a nil
+// engine configuration is exactly the standalone-NSGA-Net baseline the
+// paper compares against.
+package core
+
+import (
+	"math/rand"
+
+	"a4nn/internal/genome"
+)
+
+// EpochMetrics reports one training epoch of one model.
+type EpochMetrics struct {
+	// TrainLoss is the epoch's mean training loss.
+	TrainLoss float64
+	// TrainAccuracy and ValAccuracy are percentages in [0, 100];
+	// ValAccuracy is the fitness the prediction engine consumes.
+	TrainAccuracy float64
+	ValAccuracy   float64
+}
+
+// Trainable is one model mid-training. Implementations are not safe for
+// concurrent use; the resource manager gives each model to one device.
+type Trainable interface {
+	// TrainEpoch advances training by one epoch and reports metrics.
+	TrainEpoch() (EpochMetrics, error)
+	// SaveState snapshots the model for the data commons.
+	SaveState() ([]byte, error)
+	// FLOPs is the per-sample forward cost (drives both the NAS's second
+	// objective and the simulated epoch time).
+	FLOPs() int64
+	// NumParams is the trainable parameter count.
+	NumParams() int
+	// Describe renders the architecture for the lineage record.
+	Describe() string
+}
+
+// Trainer creates Trainables from genomes. Implementations must be safe
+// for concurrent NewModel calls (models for one generation are built on
+// multiple devices at once).
+type Trainer interface {
+	// NewModel builds a fresh model for the genome; seed makes weight
+	// initialisation (or surrogate curves) deterministic.
+	NewModel(g *genome.Genome, seed int64) (Trainable, error)
+	// TrainSamples is the training-set size, used for the simulated
+	// per-epoch cost model.
+	TrainSamples() int
+}
+
+// genomeOps adapts the genome package's variation operators to
+// nsga.Operators.
+type genomeOps struct {
+	phases, nodes int
+	mutationRate  float64
+}
+
+// Random implements nsga.Operators.
+func (o genomeOps) Random(rng *rand.Rand) (*genome.Genome, error) {
+	return genome.NewRandom(rng, o.phases, o.nodes)
+}
+
+// Crossover implements nsga.Operators.
+func (o genomeOps) Crossover(rng *rand.Rand, a, b *genome.Genome) (*genome.Genome, error) {
+	return genome.Crossover(rng, a, b)
+}
+
+// Mutate implements nsga.Operators.
+func (o genomeOps) Mutate(rng *rand.Rand, g *genome.Genome) (*genome.Genome, error) {
+	return g.Mutate(rng, o.mutationRate), nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/dataset"
+	"a4nn/internal/genome"
+	"a4nn/internal/nn"
+	"a4nn/internal/nsga"
+	"a4nn/internal/predict"
+)
+
+// MicroTrainer builds trainable models from micro (cell-based) genomes.
+type MicroTrainer interface {
+	// NewModel builds a fresh model for the cell; seed makes it
+	// deterministic.
+	NewModel(g *genome.MicroGenome, seed int64) (Trainable, error)
+	// TrainSamples is the training-set size for the epoch cost model.
+	TrainSamples() int
+}
+
+// MicroConfig assembles an A4NN run over the micro search space — the
+// same workflow (prediction engine, FIFO resource manager, lineage
+// tracking, replay) applied to NSGA-Net's cell-based encoding.
+type MicroConfig struct {
+	// NAS is the NSGA-II configuration.
+	NAS nsga.Config
+	// Engine configures the prediction engine; nil disables early
+	// termination.
+	Engine *predict.Config
+	// MaxEpochs is the per-network training budget.
+	MaxEpochs int
+	// CellNodes is the number of DAG nodes per cell (default 3).
+	CellNodes int
+	// MutationRate is the per-field redraw probability (default 0.15).
+	MutationRate float64
+	// Devices and Throughput configure the resource manager.
+	Devices    int
+	Throughput float64
+	// Trainer builds models from cells.
+	Trainer MicroTrainer
+	// Beam labels the dataset variant in lineage records.
+	Beam string
+	// Store / SnapshotEpochs / OnModel / ReplayFrom as in Config.
+	Store          *commons.Store
+	SnapshotEpochs bool
+	OnModel        func(*ModelResult)
+	ReplayFrom     *commons.Store
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c MicroConfig) Validate() error {
+	if err := c.NAS.Validate(); err != nil {
+		return err
+	}
+	if c.Engine != nil {
+		if err := c.Engine.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MaxEpochs < 1 {
+		return fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", c.MaxEpochs)
+	}
+	if c.CellNodes < 1 {
+		return fmt.Errorf("core: CellNodes must be ≥ 1, got %d", c.CellNodes)
+	}
+	if c.Devices < 1 {
+		return fmt.Errorf("core: Devices must be ≥ 1, got %d", c.Devices)
+	}
+	if c.Trainer == nil {
+		return fmt.Errorf("core: Trainer must be set")
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
+	}
+	return nil
+}
+
+// microOps adapts the micro variation operators to nsga.Operators.
+type microOps struct {
+	nodes        int
+	mutationRate float64
+}
+
+func (o microOps) Random(rng *rand.Rand) (*genome.MicroGenome, error) {
+	return genome.NewRandomMicro(rng, o.nodes)
+}
+
+func (o microOps) Crossover(rng *rand.Rand, a, b *genome.MicroGenome) (*genome.MicroGenome, error) {
+	return genome.CrossoverMicro(rng, a, b)
+}
+
+func (o microOps) Mutate(rng *rand.Rand, g *genome.MicroGenome) (*genome.MicroGenome, error) {
+	return g.Mutate(rng, o.mutationRate), nil
+}
+
+// RunMicro executes an A4NN search over the micro search space.
+func RunMicro(cfg MicroConfig) (*Result, error) {
+	if cfg.CellNodes == 0 {
+		cfg.CellNodes = 3
+	}
+	if cfg.MutationRate == 0 {
+		cfg.MutationRate = 0.15
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := newRunner(cfg.Engine, cfg.MaxEpochs, cfg.Devices, cfg.Throughput,
+		cfg.Beam, nilableStore(cfg.Store), nilableStore(cfg.ReplayFrom), cfg.SnapshotEpochs,
+		cfg.OnModel, cfg.Trainer.TrainSamples(), cfg.NAS.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	evaluator := nsga.EvaluatorFunc[*genome.MicroGenome](func(gen int, cands []*genome.MicroGenome) ([][]float64, error) {
+		infos := make([]archInfo, len(cands))
+		for i, g := range cands {
+			infos[i] = archInfo{hash: g.Hash(), encoding: g.String(), micro: g}
+		}
+		return r.evaluateGeneration(gen, infos, func(info archInfo, seed int64) (Trainable, error) {
+			return cfg.Trainer.NewModel(info.micro, seed)
+		})
+	})
+
+	ops := microOps{nodes: cfg.CellNodes, mutationRate: cfg.MutationRate}
+	nasRes, err := nsga.Run[*genome.MicroGenome](cfg.NAS, ops, evaluator)
+	if err != nil {
+		return nil, err
+	}
+	res := r.finish()
+	res.MicroNAS = nasRes
+	return res, nil
+}
+
+// RealMicroTrainer trains decoded micro cells on a real dataset; it is
+// the micro-space counterpart of RealTrainer and shares its
+// configuration.
+type RealMicroTrainer struct {
+	cfg        RealTrainerConfig
+	train, val *dataset.Dataset
+	valBatches []nn.Batch
+}
+
+// NewRealMicroTrainer validates the datasets against the decode
+// configuration.
+func NewRealMicroTrainer(train, val *dataset.Dataset, cfg RealTrainerConfig) (*RealMicroTrainer, error) {
+	// Reuse the macro trainer's validation (identical requirements).
+	base, err := NewRealTrainer(train, val, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RealMicroTrainer{cfg: base.cfg, train: base.train, val: base.val, valBatches: base.valBatches}, nil
+}
+
+// TrainSamples implements MicroTrainer.
+func (t *RealMicroTrainer) TrainSamples() int { return t.train.Len() }
+
+// NewModel implements MicroTrainer.
+func (t *RealMicroTrainer) NewModel(g *genome.MicroGenome, seed int64) (Trainable, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := genome.DecodeMicro(g, t.cfg.Decode, rng)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(t.cfg.LR, t.cfg.Momentum, t.cfg.WeightDecay)
+	if err != nil {
+		return nil, err
+	}
+	flops, err := net.FLOPs()
+	if err != nil {
+		return nil, err
+	}
+	proxy := &RealTrainer{cfg: t.cfg, train: t.train, val: t.val, valBatches: t.valBatches}
+	return &realModel{trainer: proxy, net: net, opt: opt, rng: rng, flops: flops}, nil
+}

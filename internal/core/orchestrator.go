@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"a4nn/internal/lineage"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+)
+
+// SnapshotSink receives per-epoch model states; the workflow wires it to
+// the data commons. epoch is 1-based.
+type SnapshotSink func(id string, epoch int, state []byte) error
+
+// Orchestrator runs Algorithm 1 for one model: train an epoch, feed the
+// fitness history to the prediction engine, append the prediction, ask
+// the analyzer whether predictions converged, and terminate early when
+// they have. With a nil engine it degenerates to fixed-budget training —
+// the standalone-NAS baseline.
+type Orchestrator struct {
+	// Engine is the prediction engine; nil disables early termination.
+	Engine *predict.Engine
+	// MaxEpochs is the NAS's full training budget (Table 2: 25).
+	MaxEpochs int
+	// Snapshots, when non-nil, receives the model state after every epoch
+	// (paper §2.2.2).
+	Snapshots SnapshotSink
+}
+
+// TrainOutcome summarises one model's training.
+type TrainOutcome struct {
+	// FinalFitness is Algorithm 1's return value: the converged
+	// prediction on early termination, else the last observed fitness.
+	FinalFitness float64
+	// EpochsTrained is the paper's e_t when Terminated, else MaxEpochs.
+	EpochsTrained int
+	Terminated    bool
+	// SimSeconds is the summed simulated epoch cost on the device.
+	SimSeconds float64
+	// EngineSeconds is the real (measured) time spent inside the
+	// prediction engine, the overhead of §4.3.1.
+	EngineSeconds float64
+	// Interactions counts prediction-engine invocations.
+	Interactions int
+	// InteractionSeconds holds each invocation's measured duration.
+	InteractionSeconds []float64
+}
+
+// TrainModel trains one model under Algorithm 1 on the given device,
+// filling rec (which must have its identity fields set) with the per-epoch
+// record trail. samples is the training-set size for the epoch cost model.
+func (o *Orchestrator) TrainModel(m Trainable, dev sched.Device, samples int, rec *lineage.Record) (*TrainOutcome, error) {
+	if o.MaxEpochs < 1 {
+		return nil, fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", o.MaxEpochs)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	epochCost := dev.EpochCost(m.FLOPs(), samples)
+	var tracker *predict.Tracker
+	if o.Engine != nil {
+		tracker = predict.NewTracker(o.Engine)
+	}
+	out := &TrainOutcome{}
+	lastVal := 0.0
+	for e := 1; e <= o.MaxEpochs; e++ {
+		metrics, err := m.TrainEpoch()
+		if err != nil {
+			return nil, fmt.Errorf("core: epoch %d of %s: %w", e, rec.ID, err)
+		}
+		out.SimSeconds += epochCost
+		out.EpochsTrained = e
+		lastVal = metrics.ValAccuracy
+		entry := lineage.EpochEntry{
+			Epoch:         e,
+			TrainLoss:     metrics.TrainLoss,
+			TrainAccuracy: metrics.TrainAccuracy,
+			ValAccuracy:   metrics.ValAccuracy,
+			SimSeconds:    epochCost,
+		}
+
+		converged := false
+		if tracker != nil {
+			start := time.Now()
+			nPred := len(tracker.P)
+			converged = tracker.Observe(metrics.ValAccuracy)
+			d := time.Since(start).Seconds()
+			out.EngineSeconds += d
+			out.Interactions++
+			out.InteractionSeconds = append(out.InteractionSeconds, d)
+			if len(tracker.P) > nPred {
+				entry.Prediction = tracker.P[len(tracker.P)-1]
+				entry.HasPrediction = true
+			}
+		}
+		if rec != nil {
+			rec.Epochs = append(rec.Epochs, entry)
+		}
+		if o.Snapshots != nil && rec != nil {
+			state, err := m.SaveState()
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot %s@%d: %w", rec.ID, e, err)
+			}
+			if err := o.Snapshots(rec.ID, e, state); err != nil {
+				return nil, fmt.Errorf("core: store snapshot %s@%d: %w", rec.ID, e, err)
+			}
+		}
+		if converged {
+			out.Terminated = true
+			break
+		}
+	}
+
+	// Lines 17–21 of Algorithm 1.
+	if out.Terminated {
+		if f, ok := tracker.FinalFitness(); ok {
+			out.FinalFitness = f
+		}
+	} else {
+		out.FinalFitness = lastVal
+	}
+	if rec != nil {
+		rec.Terminated = out.Terminated
+		if out.Terminated {
+			rec.TerminationEpoch = len(rec.Epochs)
+		}
+		rec.FinalFitness = out.FinalFitness
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"a4nn/internal/lineage"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+)
+
+// scriptedModel replays a fixed fitness curve.
+type scriptedModel struct {
+	curve []float64
+	i     int
+	flops int64
+}
+
+func (m *scriptedModel) TrainEpoch() (EpochMetrics, error) {
+	if m.i >= len(m.curve) {
+		return EpochMetrics{}, fmt.Errorf("curve exhausted at epoch %d", m.i+1)
+	}
+	v := m.curve[m.i]
+	m.i++
+	return EpochMetrics{TrainLoss: 1 / float64(m.i), TrainAccuracy: v + 1, ValAccuracy: v}, nil
+}
+func (m *scriptedModel) SaveState() ([]byte, error) { return []byte{byte(m.i)}, nil }
+func (m *scriptedModel) FLOPs() int64               { return m.flops }
+func (m *scriptedModel) NumParams() int             { return 10 }
+func (m *scriptedModel) Describe() string           { return "scripted" }
+
+// expCurve generates the paper family a − b^(c−e).
+func expCurve(a, beta, c float64, n int) []float64 {
+	out := make([]float64, n)
+	for e := 1; e <= n; e++ {
+		out[e-1] = a - math.Exp(beta*(c-float64(e)))
+	}
+	return out
+}
+
+func newRecord(id string) *lineage.Record {
+	return &lineage.Record{ID: id, Genome: "0000000"}
+}
+
+func TestOrchestratorStandaloneTrainsFullBudget(t *testing.T) {
+	m := &scriptedModel{curve: expCurve(90, 0.5, 1, 25), flops: 1e6}
+	orch := &Orchestrator{MaxEpochs: 25}
+	rec := newRecord("m")
+	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 100, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Terminated || out.EpochsTrained != 25 {
+		t.Fatalf("standalone outcome %+v", out)
+	}
+	if len(rec.Epochs) != 25 {
+		t.Fatalf("record has %d epochs", len(rec.Epochs))
+	}
+	// Final fitness = last observed value (Algorithm 1 line 20).
+	want := m.curve[24]
+	if math.Abs(out.FinalFitness-want) > 1e-12 {
+		t.Fatalf("final fitness %v, want %v", out.FinalFitness, want)
+	}
+	// Simulated time: 25 epochs × (1e6·100·3/1e9) s.
+	wantSim := 25 * sched.Device{Throughput: 1e9}.EpochCost(1e6, 100)
+	if math.Abs(out.SimSeconds-wantSim) > 1e-9 {
+		t.Fatalf("sim seconds %v, want %v", out.SimSeconds, wantSim)
+	}
+	if out.Interactions != 0 || out.EngineSeconds != 0 {
+		t.Fatal("standalone run must not touch the engine")
+	}
+}
+
+func TestOrchestratorTerminatesEarlyWithEngine(t *testing.T) {
+	eng, err := predict.NewEngine(predict.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &scriptedModel{curve: expCurve(92, 0.5, 1, 25), flops: 1e6}
+	orch := &Orchestrator{Engine: eng, MaxEpochs: 25}
+	rec := newRecord("m")
+	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 100, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Terminated {
+		t.Fatal("clean curve must terminate early")
+	}
+	if out.EpochsTrained >= 25 {
+		t.Fatalf("terminated only at %d", out.EpochsTrained)
+	}
+	if rec.TerminationEpoch != out.EpochsTrained || !rec.Terminated {
+		t.Fatalf("record termination mismatch: %+v", rec)
+	}
+	// Final fitness is the converged prediction ≈ asymptote.
+	if math.Abs(out.FinalFitness-92) > 1.5 {
+		t.Fatalf("predicted final fitness %v, want ≈92", out.FinalFitness)
+	}
+	if out.Interactions != out.EpochsTrained {
+		t.Fatalf("interactions %d for %d epochs", out.Interactions, out.EpochsTrained)
+	}
+	if len(out.InteractionSeconds) != out.Interactions {
+		t.Fatal("per-interaction timings missing")
+	}
+	// Record must carry predictions from CMin onward.
+	if !rec.Epochs[len(rec.Epochs)-1].HasPrediction {
+		t.Fatal("final epoch entry lacks prediction")
+	}
+}
+
+func TestOrchestratorSnapshotsEveryEpoch(t *testing.T) {
+	var got []string
+	sink := func(id string, epoch int, state []byte) error {
+		got = append(got, fmt.Sprintf("%s@%d:%d", id, epoch, len(state)))
+		return nil
+	}
+	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 5), flops: 1e6}
+	orch := &Orchestrator{MaxEpochs: 5, Snapshots: sink}
+	rec := newRecord("snap")
+	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d snapshots, want 5", len(got))
+	}
+	if got[2] != "snap@3:1" {
+		t.Fatalf("snapshot record %q", got[2])
+	}
+}
+
+func TestOrchestratorSnapshotErrorPropagates(t *testing.T) {
+	sink := func(id string, epoch int, state []byte) error { return fmt.Errorf("disk full") }
+	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 5), flops: 1e6}
+	orch := &Orchestrator{MaxEpochs: 5, Snapshots: sink}
+	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
+		t.Fatal("snapshot error must propagate")
+	}
+}
+
+func TestOrchestratorValidation(t *testing.T) {
+	orch := &Orchestrator{MaxEpochs: 0}
+	if _, err := orch.TrainModel(&scriptedModel{}, sched.Device{}, 1, nil); err == nil {
+		t.Fatal("MaxEpochs=0 must fail")
+	}
+	orch = &Orchestrator{MaxEpochs: 5}
+	if _, err := orch.TrainModel(nil, sched.Device{}, 1, nil); err == nil {
+		t.Fatal("nil model must fail")
+	}
+}
+
+func TestOrchestratorTrainErrorPropagates(t *testing.T) {
+	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 2), flops: 1e6} // exhausts at epoch 3
+	orch := &Orchestrator{MaxEpochs: 10}
+	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
+		t.Fatal("training error must propagate")
+	}
+}
+
+func TestOrchestratorNilRecordAllowed(t *testing.T) {
+	m := &scriptedModel{curve: expCurve(88, 0.3, 1, 25), flops: 1e6}
+	orch := &Orchestrator{MaxEpochs: 25}
+	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.FinalFitness-m.curve[24]) > 1e-12 {
+		t.Fatalf("final fitness %v without record", out.FinalFitness)
+	}
+}

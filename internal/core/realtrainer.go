@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"a4nn/internal/dataset"
+	"a4nn/internal/genome"
+	"a4nn/internal/nn"
+)
+
+// RealTrainerConfig configures genuine gradient-descent training of
+// decoded genomes.
+type RealTrainerConfig struct {
+	// Decode shapes the decoded networks (input, phase widths, classes).
+	Decode genome.DecodeConfig
+	// BatchSize for SGD (default 32).
+	BatchSize int
+	// LR and Momentum for the SGD optimizer (defaults 0.05, 0.9).
+	LR, Momentum float64
+	// WeightDecay is the L2 penalty (default 0).
+	WeightDecay float64
+	// EvalTrainSubset caps the samples used to estimate training accuracy
+	// each epoch (0 = 512); validation always uses the full split.
+	EvalTrainSubset int
+	// Scheduler, when non-nil, sets the learning rate before each epoch
+	// (e.g. nn.CosineLR, the schedule NSGA-Net trains with). The LR field
+	// is then only the optimizer's initial rate.
+	Scheduler nn.LRScheduler
+	// ClipNorm, when positive, clips the global gradient norm before each
+	// optimizer step.
+	ClipNorm float64
+}
+
+func (c *RealTrainerConfig) withDefaults() RealTrainerConfig {
+	r := *c
+	if r.BatchSize == 0 {
+		r.BatchSize = 32
+	}
+	if r.LR == 0 {
+		r.LR = 0.05
+	}
+	if r.Momentum == 0 {
+		r.Momentum = 0.9
+	}
+	if r.EvalTrainSubset == 0 {
+		r.EvalTrainSubset = 512
+	}
+	return r
+}
+
+// RealTrainer trains decoded genomes on a real dataset with the
+// from-scratch NN engine. It is safe for concurrent NewModel calls; the
+// underlying datasets are shared read-only.
+type RealTrainer struct {
+	cfg        RealTrainerConfig
+	train, val *dataset.Dataset
+	valBatches []nn.Batch
+}
+
+// NewRealTrainer validates the datasets against the decode configuration.
+func NewRealTrainer(train, val *dataset.Dataset, cfg RealTrainerConfig) (*RealTrainer, error) {
+	c := cfg.withDefaults()
+	if train == nil || val == nil {
+		return nil, fmt.Errorf("core: RealTrainer needs train and val datasets")
+	}
+	if train.Len() == 0 || val.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset (train %d, val %d)", train.Len(), val.Len())
+	}
+	ts := train.SampleShape()
+	if len(ts) != 3 || len(c.Decode.InShape) != 3 ||
+		ts[0] != c.Decode.InShape[0] || ts[1] != c.Decode.InShape[1] || ts[2] != c.Decode.InShape[2] {
+		return nil, fmt.Errorf("core: dataset sample shape %v does not match decode input %v", ts, c.Decode.InShape)
+	}
+	if train.NumClasses > c.Decode.NumClasses {
+		return nil, fmt.Errorf("core: dataset has %d classes but decoder emits %d", train.NumClasses, c.Decode.NumClasses)
+	}
+	valBatches, err := val.Batches(c.BatchSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RealTrainer{cfg: c, train: train, val: val, valBatches: valBatches}, nil
+}
+
+// TrainSamples implements Trainer.
+func (t *RealTrainer) TrainSamples() int { return t.train.Len() }
+
+// NewModel implements Trainer.
+func (t *RealTrainer) NewModel(g *genome.Genome, seed int64) (Trainable, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := genome.Decode(g, t.cfg.Decode, rng)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := nn.NewSGD(t.cfg.LR, t.cfg.Momentum, t.cfg.WeightDecay)
+	if err != nil {
+		return nil, err
+	}
+	flops, err := net.FLOPs()
+	if err != nil {
+		return nil, err
+	}
+	return &realModel{trainer: t, net: net, opt: opt, rng: rng, flops: flops}, nil
+}
+
+// realModel is one decoded network mid-training.
+type realModel struct {
+	trainer *RealTrainer
+	net     *nn.Network
+	opt     nn.Optimizer
+	rng     *rand.Rand
+	flops   int64
+	epoch   int
+}
+
+// TrainEpoch implements Trainable.
+func (m *realModel) TrainEpoch() (EpochMetrics, error) {
+	m.epoch++
+	if s := m.trainer.cfg.Scheduler; s != nil {
+		if set, ok := m.opt.(nn.SetLR); ok {
+			set.SetLR(s.LR(m.epoch))
+		}
+	}
+	batches, err := m.trainer.train.Batches(m.trainer.cfg.BatchSize, m.rng)
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	loss, err := nn.TrainEpochClipped(m.net, m.opt, batches, m.trainer.cfg.ClipNorm)
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	trainAcc, err := m.trainAccuracy()
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	valAcc, err := nn.EvaluateClassifier(m.net, m.trainer.valBatches)
+	if err != nil {
+		return EpochMetrics{}, err
+	}
+	return EpochMetrics{TrainLoss: loss, TrainAccuracy: trainAcc, ValAccuracy: valAcc}, nil
+}
+
+// trainAccuracy estimates training accuracy on a bounded subset.
+func (m *realModel) trainAccuracy() (float64, error) {
+	n := m.trainer.train.Len()
+	cap := m.trainer.cfg.EvalTrainSubset
+	if n <= cap {
+		batches, err := m.trainer.train.Batches(m.trainer.cfg.BatchSize, nil)
+		if err != nil {
+			return 0, err
+		}
+		return nn.EvaluateClassifier(m.net, batches)
+	}
+	idx := make([]int, cap)
+	stride := n / cap
+	for i := range idx {
+		idx[i] = i * stride
+	}
+	sub, err := m.trainer.train.Subset(idx)
+	if err != nil {
+		return 0, err
+	}
+	batches, err := sub.Batches(m.trainer.cfg.BatchSize, nil)
+	if err != nil {
+		return 0, err
+	}
+	return nn.EvaluateClassifier(m.net, batches)
+}
+
+// SaveState implements Trainable.
+func (m *realModel) SaveState() ([]byte, error) { return m.net.SaveState() }
+
+// FLOPs implements Trainable.
+func (m *realModel) FLOPs() int64 { return m.flops }
+
+// NumParams implements Trainable.
+func (m *realModel) NumParams() int { return m.net.NumParams() }
+
+// Describe implements Trainable.
+func (m *realModel) Describe() string { return m.net.Describe() }

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"a4nn/internal/genome"
+	"a4nn/internal/lineage"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+)
+
+// archInfo carries the search-space-agnostic identity of one candidate
+// architecture through evaluation.
+type archInfo struct {
+	hash, encoding string
+	nodesPerPhase  int                 // macro only; 0 for micro
+	macro          *genome.Genome      // nil for micro candidates
+	micro          *genome.MicroGenome // nil for macro candidates
+}
+
+// runner holds the state shared by every generation of a search: the
+// device pool, the prediction engine, accounting, and the common
+// train-or-replay task logic. Both Run (macro) and RunMicro (micro) are
+// thin wrappers around it.
+type runner struct {
+	maxEpochs      int
+	beam           string
+	store          storeLike
+	snapshotEpochs bool
+	onModel        func(*ModelResult)
+	replayFrom     storeLike
+	samples        int
+	seed           int64
+
+	pool         *sched.Pool
+	engine       *predict.Engine
+	engineParams *lineage.EngineParams
+
+	mu              sync.Mutex
+	res             *Result
+	interactionSecs []float64
+}
+
+// storeLike is the slice of commons.Store the runner uses; an interface so
+// a nil *commons.Store stays nil-checkable in one place.
+type storeLike interface {
+	GetRecord(id string) (*lineage.Record, error)
+	PutRecord(r *lineage.Record) error
+	PutSnapshot(id string, epoch int, state []byte) error
+}
+
+// newRunner validates the shared knobs and assembles the runner.
+func newRunner(engineCfg *predict.Config, maxEpochs, devices int, throughput float64,
+	beam string, store, replay storeLike, snapshots bool,
+	onModel func(*ModelResult), samples int, seed int64) (*runner, error) {
+	if maxEpochs < 1 {
+		return nil, fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", maxEpochs)
+	}
+	if devices < 1 {
+		return nil, fmt.Errorf("core: Devices must be ≥ 1, got %d", devices)
+	}
+	pool, err := sched.NewPool(devices, throughput)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		maxEpochs:      maxEpochs,
+		beam:           beam,
+		store:          store,
+		snapshotEpochs: snapshots,
+		onModel:        onModel,
+		replayFrom:     replay,
+		samples:        samples,
+		seed:           seed,
+		pool:           pool,
+		res:            &Result{},
+	}
+	if engineCfg != nil {
+		engine, err := predict.NewEngine(*engineCfg)
+		if err != nil {
+			return nil, err
+		}
+		r.engine = engine
+		r.engineParams = &lineage.EngineParams{
+			Family:     engineCfg.Family.Name(),
+			CMin:       engineCfg.CMin,
+			EPred:      engineCfg.EPred,
+			N:          engineCfg.N,
+			R:          engineCfg.R,
+			MinFitness: engineCfg.MinFitness,
+			MaxFitness: engineCfg.MaxFitness,
+		}
+	}
+	return r, nil
+}
+
+// evaluateGeneration trains (or replays) one generation of candidates
+// across the pool and returns the NSGA objective vectors.
+func (r *runner) evaluateGeneration(gen int, infos []archInfo,
+	newModel func(info archInfo, seed int64) (Trainable, error)) ([][]float64, error) {
+	tasks := make([]sched.Task, len(infos))
+	results := make([]*ModelResult, len(infos))
+	for i, info := range infos {
+		i, info := i, info
+		tasks[i] = func(dev sched.Device) (float64, error) {
+			recID := fmt.Sprintf("%s-g%02d-i%02d", info.hash, gen, i)
+			if r.replayFrom != nil {
+				if rec, err := r.replayFrom.GetRecord(recID); err == nil && rec.Genome == info.encoding {
+					mr := r.modelResult(info, rec, rec.FinalFitness)
+					r.mu.Lock()
+					results[i] = mr
+					r.res.TotalEpochs += rec.EpochsTrained()
+					if rec.Terminated {
+						r.res.TerminatedEarly++
+					}
+					r.res.Replayed++
+					r.mu.Unlock()
+					if r.onModel != nil {
+						r.onModel(mr)
+					}
+					return rec.SimSeconds(), nil
+				}
+			}
+			// The device participates in the seed: training the same
+			// genome on a different accelerator is a different stochastic
+			// realisation, which is how the paper's 1- vs 4-GPU runs come
+			// to differ in epoch savings (§4.3.2).
+			seed := r.seed*1_000_003 + int64(gen)*10_007 + int64(i)*101 + int64(dev.ID)
+			model, err := newModel(info, seed)
+			if err != nil {
+				return 0, fmt.Errorf("core: build model for %s: %w", info.hash, err)
+			}
+			rec := &lineage.Record{
+				ID:            recID,
+				Genome:        info.encoding,
+				NodesPerPhase: info.nodesPerPhase,
+				Generation:    gen,
+				Architecture:  model.Describe(),
+				NumParams:     model.NumParams(),
+				FLOPs:         model.FLOPs(),
+				Beam:          r.beam,
+				DeviceID:      dev.ID,
+				Engine:        r.engineParams,
+				CreatedAt:     time.Now(),
+			}
+			orch := &Orchestrator{Engine: r.engine, MaxEpochs: r.maxEpochs}
+			if r.store != nil && r.snapshotEpochs {
+				orch.Snapshots = r.store.PutSnapshot
+			}
+			outcome, err := orch.TrainModel(model, dev, r.samples, rec)
+			if err != nil {
+				return 0, err
+			}
+			if r.store != nil {
+				if err := r.store.PutRecord(rec); err != nil {
+					return 0, err
+				}
+			}
+			mr := r.modelResult(info, rec, outcome.FinalFitness)
+			r.mu.Lock()
+			results[i] = mr
+			r.res.TotalEpochs += outcome.EpochsTrained
+			if outcome.Terminated {
+				r.res.TerminatedEarly++
+			}
+			r.res.Overhead.TotalSeconds += outcome.EngineSeconds
+			r.res.Overhead.Interactions += outcome.Interactions
+			r.interactionSecs = append(r.interactionSecs, outcome.InteractionSeconds...)
+			r.mu.Unlock()
+			if r.onModel != nil {
+				r.onModel(mr)
+			}
+			return outcome.SimSeconds, nil
+		}
+	}
+	if _, err := r.pool.RunGeneration(tasks); err != nil {
+		return nil, err
+	}
+	objs := make([][]float64, len(infos))
+	r.mu.Lock()
+	for i, mr := range results {
+		r.res.Models = append(r.res.Models, mr)
+		objs[i] = []float64{100 - mr.Fitness, mr.MFLOPs}
+	}
+	r.mu.Unlock()
+	return objs, nil
+}
+
+// modelResult assembles a ModelResult from a record.
+func (r *runner) modelResult(info archInfo, rec *lineage.Record, fitness float64) *ModelResult {
+	return &ModelResult{
+		Genome:  info.macro,
+		Micro:   info.micro,
+		Record:  rec,
+		Fitness: fitness,
+		MFLOPs:  float64(rec.FLOPs) / 1e6,
+	}
+}
+
+// finish completes the accounting and returns the result.
+func (r *runner) finish() *Result {
+	// The engine's measured overhead counts toward wall time (§4.3.1).
+	r.pool.AddOverhead(r.res.Overhead.TotalSeconds)
+	r.res.Totals = r.pool.Totals()
+	if r.res.Overhead.Interactions > 0 {
+		r.res.Overhead.MeanSeconds = r.res.Overhead.TotalSeconds / float64(r.res.Overhead.Interactions)
+		v := 0.0
+		for _, s := range r.interactionSecs {
+			d := s - r.res.Overhead.MeanSeconds
+			v += d * d
+		}
+		r.res.Overhead.VarianceSec2 = v / float64(len(r.interactionSecs))
+	}
+	if math.IsNaN(r.res.Overhead.MeanSeconds) {
+		r.res.Overhead.MeanSeconds = 0
+	}
+	return r.res
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/genome"
+	"a4nn/internal/lineage"
+	"a4nn/internal/nsga"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+)
+
+// Config assembles a full A4NN (or standalone-NAS) run.
+type Config struct {
+	// NAS is the NSGA-II configuration (Table 2).
+	NAS nsga.Config
+	// Engine configures the prediction engine (Table 1); nil runs the
+	// standalone NAS baseline with fixed-budget training.
+	Engine *predict.Config
+	// MaxEpochs is the full per-network training budget (Table 2: 25).
+	MaxEpochs int
+	// Phases and NodesPerPhase shape the search space (Table 2: 4 nodes;
+	// NSGA-Net's macro space uses 3 phases).
+	Phases, NodesPerPhase int
+	// MutationRate is the per-bit flip probability; 0 selects
+	// 1/(bits per genome), one expected flip per child.
+	MutationRate float64
+	// Devices is the accelerator count (the paper evaluates 1 and 4).
+	Devices int
+	// Throughput is the per-device FLOPs/s; 0 selects sched.DefaultThroughput.
+	Throughput float64
+	// Trainer builds models from genomes.
+	Trainer Trainer
+	// Beam labels the dataset variant in lineage records.
+	Beam string
+	// Store, when non-nil, receives every record trail; SnapshotEpochs
+	// additionally stores per-epoch model states.
+	Store          *commons.Store
+	SnapshotEpochs bool
+	// OnModel, when non-nil, is invoked once per evaluated network as it
+	// finishes training — for progress reporting. With multiple devices
+	// it is called from multiple goroutines; implementations must be
+	// safe for concurrent use.
+	OnModel func(*ModelResult)
+	// ReplayFrom, when non-nil, replays record trails from a previous
+	// run's data commons instead of retraining: when a record with the
+	// same identity (genome hash, generation, slot) and an identical
+	// genome exists, its fitness, epochs, and simulated time are reused.
+	// With the same seed and NAS configuration this reproduces a search
+	// exactly from its record trails — the reproducibility §2.3 is after
+	// — and lets an interrupted run resume, retraining only the models
+	// whose records are missing.
+	ReplayFrom *commons.Store
+}
+
+// DefaultConfig returns the paper's evaluation setup (Tables 1 and 2) for
+// the given trainer: population 10, offspring 10, 10 generations, 25
+// epochs, prediction engine on, one device.
+func DefaultConfig(trainer Trainer) Config {
+	engineCfg := predict.DefaultConfig()
+	return Config{
+		NAS:           nsga.DefaultConfig(),
+		Engine:        &engineCfg,
+		MaxEpochs:     25,
+		Phases:        3,
+		NodesPerPhase: 4,
+		Devices:       1,
+		Trainer:       trainer,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	if err := c.NAS.Validate(); err != nil {
+		return err
+	}
+	if c.Engine != nil {
+		if err := c.Engine.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MaxEpochs < 1 {
+		return fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", c.MaxEpochs)
+	}
+	if c.Phases < 1 || c.NodesPerPhase < 1 {
+		return fmt.Errorf("core: need ≥ 1 phases and nodes, got %d, %d", c.Phases, c.NodesPerPhase)
+	}
+	if c.Devices < 1 {
+		return fmt.Errorf("core: Devices must be ≥ 1, got %d", c.Devices)
+	}
+	if c.Trainer == nil {
+		return fmt.Errorf("core: Trainer must be set")
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
+	}
+	return nil
+}
+
+// ModelResult pairs an evaluated genome with its record trail and
+// objectives.
+type ModelResult struct {
+	// Genome is set for macro-space searches; Micro for micro-space ones.
+	Genome  *genome.Genome
+	Micro   *genome.MicroGenome
+	Record  *lineage.Record
+	Fitness float64 // validation accuracy (percent) reported to the NAS
+	MFLOPs  float64 // FLOPs / 1e6, the second NAS objective
+}
+
+// OverheadStats aggregates the measured prediction-engine overhead
+// (paper §4.3.1: ~52 s per 100-model test, ~28 ms per interaction).
+type OverheadStats struct {
+	TotalSeconds float64
+	Interactions int
+	MeanSeconds  float64
+	VarianceSec2 float64
+}
+
+// Result is the outcome of one workflow run.
+type Result struct {
+	// NAS holds the NSGA-II populations and the full evaluation log
+	// (macro searches); MicroNAS is its micro-space counterpart.
+	NAS      *nsga.Result[*genome.Genome]
+	MicroNAS *nsga.Result[*genome.MicroGenome]
+	// Models holds one entry per evaluated network, in evaluation order.
+	Models []*ModelResult
+	// Totals is the resource manager's simulated accounting.
+	Totals sched.Totals
+	// TotalEpochs counts training epochs across all networks; the
+	// standalone baseline always spends MaxEpochs × len(Models).
+	TotalEpochs int
+	// TerminatedEarly counts networks stopped by the prediction engine.
+	TerminatedEarly int
+	// Replayed counts networks whose results were reused from
+	// Config.ReplayFrom instead of retrained.
+	Replayed int
+	// Overhead aggregates the engine's measured cost.
+	Overhead OverheadStats
+}
+
+// ParetoObjectives returns the objective vectors (100−accuracy, MFLOPs)
+// of all evaluated models, for frontier analysis.
+func (r *Result) ParetoObjectives() [][]float64 {
+	objs := make([][]float64, len(r.Models))
+	for i, m := range r.Models {
+		objs[i] = []float64{100 - m.Fitness, m.MFLOPs}
+	}
+	return objs
+}
+
+// TerminationEpochs returns e_t for every early-terminated model
+// (Figure 8's distribution).
+func (r *Result) TerminationEpochs() []int {
+	var out []int
+	for _, m := range r.Models {
+		if m.Record.Terminated {
+			out = append(out, m.Record.TerminationEpoch)
+		}
+	}
+	return out
+}
+
+// Run executes the workflow: NSGA-II proposes generations of genomes; the
+// evaluator trains each generation across the device pool under
+// Algorithm 1 and returns (100−fitness, MFLOPs) to the NAS; lineage
+// records flow to the data commons.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MutationRate == 0 {
+		cfg.MutationRate = 1 / float64(cfg.Phases*genome.BitsPerPhase(cfg.NodesPerPhase))
+	}
+	r, err := newRunner(cfg.Engine, cfg.MaxEpochs, cfg.Devices, cfg.Throughput,
+		cfg.Beam, nilableStore(cfg.Store), nilableStore(cfg.ReplayFrom), cfg.SnapshotEpochs,
+		cfg.OnModel, cfg.Trainer.TrainSamples(), cfg.NAS.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	evaluator := nsga.EvaluatorFunc[*genome.Genome](func(gen int, cands []*genome.Genome) ([][]float64, error) {
+		infos := make([]archInfo, len(cands))
+		for i, g := range cands {
+			infos[i] = archInfo{hash: g.Hash(), encoding: g.String(), nodesPerPhase: g.NodesPerPhase, macro: g}
+		}
+		return r.evaluateGeneration(gen, infos, func(info archInfo, seed int64) (Trainable, error) {
+			return cfg.Trainer.NewModel(info.macro, seed)
+		})
+	})
+
+	ops := genomeOps{phases: cfg.Phases, nodes: cfg.NodesPerPhase, mutationRate: cfg.MutationRate}
+	nasRes, err := nsga.Run[*genome.Genome](cfg.NAS, ops, evaluator)
+	if err != nil {
+		return nil, err
+	}
+	res := r.finish()
+	res.NAS = nasRes
+	return res, nil
+}
+
+// nilableStore converts a possibly-nil *commons.Store into a
+// possibly-nil storeLike (a typed-nil interface would defeat nil checks).
+func nilableStore(s *commons.Store) storeLike {
+	if s == nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"a4nn/internal/tensor"
+)
+
+// fileFormat is the gob wire form of a dataset.
+type fileFormat struct {
+	Shape      []int
+	Data       []float64
+	Labels     []int
+	NumClasses int
+}
+
+// Save writes the dataset to path in the package's gob format.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	ff := fileFormat{
+		Shape:      d.X.Shape(),
+		Data:       d.X.Data(),
+		Labels:     d.Labels,
+		NumClasses: d.NumClasses,
+	}
+	if err := gob.NewEncoder(w).Encode(ff); err != nil {
+		return fmt.Errorf("dataset: encode %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("dataset: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a dataset previously written with Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var ff fileFormat
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decode %s: %w", path, err)
+	}
+	x, err := tensor.FromSlice(ff.Data, ff.Shape...)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return New(x, ff.Labels, ff.NumClasses)
+}

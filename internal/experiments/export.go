@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Export is the machine-readable form of the full evaluation, for
+// downstream plotting or regression tracking (cmd/experiments -json).
+type Export struct {
+	Seed     int64         `json:"seed"`
+	Fig6     []Fig6Series  `json:"fig6_pareto"`
+	Fig6HV   []Fig6Quality `json:"fig6_hypervolume"`
+	Fig7     []Fig7Row     `json:"fig7_epochs"`
+	Fig8     []Fig8Row     `json:"fig8_termination"`
+	Fig9     []Fig9Row     `json:"fig9_walltime"`
+	Overhead []OverheadRow `json:"engine_overhead"`
+	Table3   []Table3Row   `json:"table3_xpsi,omitempty"`
+}
+
+// Export gathers every derived figure of the suite; table3 may be nil
+// when the real XPSI baseline was not run.
+func (s *Suite) Export(table3 []Table3Row) (*Export, error) {
+	hv, err := s.Fig6Hypervolume()
+	if err != nil {
+		return nil, err
+	}
+	return &Export{
+		Seed:     s.Seed,
+		Fig6:     s.Fig6(),
+		Fig6HV:   hv,
+		Fig7:     s.Fig7(),
+		Fig8:     s.Fig8(),
+		Fig9:     s.Fig9(),
+		Overhead: s.Overhead(),
+		Table3:   table3,
+	}, nil
+}
+
+// MarshalJSON renders the export with stable indentation.
+func (e *Export) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encode export: %w", err)
+	}
+	return data, nil
+}

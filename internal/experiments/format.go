@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"a4nn/internal/analyzer"
+)
+
+// FormatFig2 renders the prediction-convergence trace.
+func FormatFig2(r *Fig2Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 2: fitness prediction with F(x)=a-b^(c-x), e_pred=%d\n", r.EPred)
+	fmt.Fprintf(&sb, "fitness curve: %s\n", analyzer.Sparkline(r.Fitness))
+	var rows [][]string
+	pi := 0
+	for e := 1; e <= len(r.Fitness); e++ {
+		pred := ""
+		if pi < len(r.PredEpochs) && r.PredEpochs[pi] == e {
+			pred = fmt.Sprintf("%.2f", r.Predictions[pi])
+			pi++
+		}
+		rows = append(rows, []string{fmt.Sprint(e), fmt.Sprintf("%.2f", r.Fitness[e-1]), pred})
+	}
+	sb.WriteString(analyzer.FormatTable([]string{"epoch", "fitness", fmt.Sprintf("pred@%d", r.EPred)}, rows))
+	if r.ConvergedAt > 0 {
+		fmt.Fprintf(&sb, "prediction converged at epoch %d; final prediction %.2f (training terminated)\n",
+			r.ConvergedAt, r.FinalPrediction)
+	} else {
+		sb.WriteString("predictions did not converge; network trained the full budget\n")
+	}
+	return sb.String()
+}
+
+// FormatFig6 renders the Pareto frontiers.
+func FormatFig6(series []Fig6Series) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Pareto-optimal models (validation accuracy vs MFLOPs)\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "\n[%s, %s beam] %d Pareto-optimal models\n", s.Mode, s.Beam, len(s.Points))
+		var rows [][]string
+		for _, p := range s.Points {
+			rows = append(rows, []string{p.ID, fmt.Sprintf("%.2f", p.Accuracy), fmt.Sprintf("%.1f", p.MFLOPs)})
+		}
+		sb.WriteString(analyzer.FormatTable([]string{"model", "accuracy %", "MFLOPs"}, rows))
+	}
+	return sb.String()
+}
+
+// FormatFig6Quality renders the hypervolume comparison.
+func FormatFig6Quality(rows []Fig6Quality) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 (quality): hypervolume of the frontiers, ref (100, 1000 MFLOPs)\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprintf("%.0f", r.A4NNHV),
+			fmt.Sprintf("%.0f", r.StandaloneHV),
+			fmt.Sprintf("%.3f", r.A4NNHV/r.StandaloneHV),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable([]string{"beam", "A4NN HV", "standalone HV", "ratio"}, t))
+	return sb.String()
+}
+
+// FormatFig7 renders the epoch-savings bars.
+func FormatFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: training epochs for 100 architectures and % saved vs standalone\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprint(r.StandaloneEpochs),
+			fmt.Sprintf("%d (%.1f%% saved)", r.A4NN1Epochs, r.Saved1Pct),
+			fmt.Sprintf("%d (%.1f%% saved)", r.A4NN4Epochs, r.Saved4Pct),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable([]string{"beam", "standalone", "A4NN 1 GPU", "A4NN 4 GPU"}, t))
+	return sb.String()
+}
+
+// FormatFig8 renders the termination-epoch distributions.
+func FormatFig8(rows []Fig8Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: distribution of termination epoch e_t\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n[%s, %s] %.0f%% of models terminated early, mean e_t = %.1f\n",
+			r.Mode, r.Beam, r.TerminatedPct, r.MeanEt)
+		sb.WriteString(analyzer.RenderHistogram(r.Bins))
+	}
+	return sb.String()
+}
+
+// FormatFig9 renders the wall-time comparison.
+func FormatFig9(rows []Fig9Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: simulated wall times (hours)\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprintf("%.2f", r.StandaloneHours),
+			fmt.Sprintf("%.2f", r.A4NN1Hours),
+			fmt.Sprintf("%.2f", r.A4NN4Hours),
+			fmt.Sprintf("%.2f", r.SavedHours),
+			fmt.Sprintf("%.2fx", r.Speedup4),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable(
+		[]string{"beam", "standalone", "A4NN 1 GPU", "A4NN 4 GPU", "saved (1 GPU)", "4-GPU speedup"}, t))
+	return sb.String()
+}
+
+// FormatOverhead renders the §4.3.1 engine-overhead measurements.
+func FormatOverhead(rows []OverheadRow) string {
+	var sb strings.Builder
+	sb.WriteString("Prediction-engine overhead (measured, §4.3.1)\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprintf("%.3f", r.TotalSeconds),
+			fmt.Sprintf("%.3f", r.MeanMillis),
+			fmt.Sprintf("%.4f", r.VarianceMs2),
+			fmt.Sprint(r.Interactions),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable(
+		[]string{"beam", "total s / test", "mean ms / interaction", "variance ms²", "interactions"}, t))
+	return sb.String()
+}
+
+// FormatTable3 renders the XPSI comparison.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: wall time and accuracy of A4NN versus XPSI\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprintf("%.4f h / %.1f%%", r.XPSIHours, r.XPSIAccuracy),
+			fmt.Sprintf("%.2f h / %.1f%%", r.A4NN1Hours, r.A4NNAccuracy),
+			fmt.Sprintf("%.2f h", r.A4NN4Hours),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable(
+		[]string{"beam", "XPSI (wall/acc)", "A4NN 1 GPU (wall/acc)", "A4NN 4 GPU (wall)"}, t))
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"a4nn/internal/analyzer"
+	"a4nn/internal/xfel"
+)
+
+// MultiSeedRow reports the mean ± standard deviation of a beam's epoch
+// savings across independent seeds — the statistical robustness check the
+// paper's single-run bars lack.
+type MultiSeedRow struct {
+	Beam              xfel.BeamIntensity
+	Seeds             int
+	MeanSavedPct      float64
+	StdSavedPct       float64
+	MeanTerminatedPct float64
+}
+
+// MultiSeedFig7 repeats the A4NN-vs-standalone epoch comparison over n
+// seeds (1-device runs) and aggregates the savings.
+func MultiSeedFig7(baseSeed int64, n int) ([]MultiSeedRow, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: need ≥ 1 seed, got %d", n)
+	}
+	var rows []MultiSeedRow
+	for _, beam := range xfel.AllBeams {
+		var saved, term []float64
+		for s := 0; s < n; s++ {
+			seed := baseSeed + int64(s)*977
+			a4, err := RunSearch(beam, A4NN1, seed)
+			if err != nil {
+				return nil, err
+			}
+			full := len(a4.Models) * 25
+			saved = append(saved, 100*(1-float64(a4.TotalEpochs)/float64(full)))
+			term = append(term, 100*float64(a4.TerminatedEarly)/float64(len(a4.Models)))
+		}
+		mean, std := meanStd(saved)
+		tMean, _ := meanStd(term)
+		rows = append(rows, MultiSeedRow{
+			Beam: beam, Seeds: n,
+			MeanSavedPct: mean, StdSavedPct: std,
+			MeanTerminatedPct: tMean,
+		})
+	}
+	return rows, nil
+}
+
+// meanStd returns the sample mean and (population) standard deviation.
+func meanStd(v []float64) (mean, std float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(v)))
+}
+
+// FormatMultiSeed renders the aggregate savings table.
+func FormatMultiSeed(rows []MultiSeedRow) string {
+	var sb strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "Figure 7 across %d seeds: epoch savings (mean ± std)\n", rows[0].Seeds)
+	}
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{
+			r.Beam.String(),
+			fmt.Sprintf("%.1f%% ± %.1f", r.MeanSavedPct, r.StdSavedPct),
+			fmt.Sprintf("%.0f%%", r.MeanTerminatedPct),
+		})
+	}
+	sb.WriteString(analyzer.FormatTable([]string{"beam", "epochs saved", "terminated"}, t))
+	return sb.String()
+}

@@ -1,0 +1,250 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Func is a parametric model y = f(params, x) fitted by Levenberg–Marquardt.
+type Func func(params []float64, x float64) float64
+
+// LMOptions configures Levenberg–Marquardt.
+type LMOptions struct {
+	// MaxIterations bounds the number of LM steps (default 200).
+	MaxIterations int
+	// Tolerance is the relative reduction in the sum of squared residuals
+	// below which the fit is declared converged (default 1e-10).
+	Tolerance float64
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+	// Epsilon is the step used for the central-difference Jacobian
+	// (default 1e-6, scaled by max(1,|param|)).
+	Epsilon float64
+	// Weights, when non-nil, must have one entry per observation; the
+	// fit minimises Σ wᵢ·rᵢ². The prediction engine uses recency weights
+	// so late epochs dominate the extrapolation.
+	Weights []float64
+	// Lower and Upper, when non-nil, impose box constraints: every trial
+	// parameter vector is projected into [Lower[i], Upper[i]]. They must
+	// have the same length as the parameter vector. Box constraints keep
+	// exponential-family models out of degenerate flat regions where the
+	// numeric Jacobian vanishes.
+	Lower, Upper []float64
+}
+
+func (o *LMOptions) withDefaults() LMOptions {
+	r := LMOptions{MaxIterations: 200, Tolerance: 1e-10, InitialLambda: 1e-3, Epsilon: 1e-6}
+	if o == nil {
+		return r
+	}
+	if o.MaxIterations > 0 {
+		r.MaxIterations = o.MaxIterations
+	}
+	if o.Tolerance > 0 {
+		r.Tolerance = o.Tolerance
+	}
+	if o.InitialLambda > 0 {
+		r.InitialLambda = o.InitialLambda
+	}
+	if o.Epsilon > 0 {
+		r.Epsilon = o.Epsilon
+	}
+	r.Lower, r.Upper, r.Weights = o.Lower, o.Upper, o.Weights
+	return r
+}
+
+// project clamps p into the box [Lower, Upper] when bounds are set.
+func (o *LMOptions) project(p []float64) {
+	for i := range p {
+		if o.Lower != nil && p[i] < o.Lower[i] {
+			p[i] = o.Lower[i]
+		}
+		if o.Upper != nil && p[i] > o.Upper[i] {
+			p[i] = o.Upper[i]
+		}
+	}
+}
+
+// LMResult reports the outcome of a Levenberg–Marquardt fit.
+type LMResult struct {
+	// Params holds the fitted parameter vector.
+	Params []float64
+	// Residual is the final sum of squared residuals.
+	Residual float64
+	// Iterations is the number of LM steps taken.
+	Iterations int
+	// Converged reports whether the relative-improvement criterion was met
+	// before MaxIterations.
+	Converged bool
+}
+
+// CurveFit fits model to the observations (xs, ys) starting from p0 using
+// Levenberg–Marquardt with a numeric central-difference Jacobian. p0 is not
+// modified. The fit requires at least len(p0) observations.
+func CurveFit(model Func, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult, error) {
+	o := opts.withDefaults()
+	if len(xs) != len(ys) {
+		return LMResult{}, fmt.Errorf("fit: %d xs but %d ys", len(xs), len(ys))
+	}
+	np := len(p0)
+	if np == 0 {
+		return LMResult{}, errors.New("fit: empty parameter vector")
+	}
+	m := len(xs)
+	if m < np {
+		return LMResult{}, fmt.Errorf("fit: %d observations for %d parameters", m, np)
+	}
+	if (o.Lower != nil && len(o.Lower) != np) || (o.Upper != nil && len(o.Upper) != np) {
+		return LMResult{}, fmt.Errorf("fit: bounds length must match %d parameters", np)
+	}
+	if o.Weights != nil && len(o.Weights) != m {
+		return LMResult{}, fmt.Errorf("fit: %d weights for %d observations", len(o.Weights), m)
+	}
+
+	params := append([]float64(nil), p0...)
+	o.project(params)
+	resid := make([]float64, m)
+	sse := residuals(model, params, xs, ys, o.Weights, resid)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return LMResult{}, errors.New("fit: model not finite at initial parameters")
+	}
+
+	lambda := o.InitialLambda
+	jac := make([][]float64, m) // m×np Jacobian of the model wrt params
+	for i := range jac {
+		jac[i] = make([]float64, np)
+	}
+	trial := make([]float64, np)
+	trialResid := make([]float64, m)
+
+	res := LMResult{Params: params, Residual: sse}
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		numericJacobian(model, params, xs, o.Weights, jac, o.Epsilon)
+
+		// Normal equations with LM damping: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr.
+		jtj := make([][]float64, np)
+		jtr := make([]float64, np)
+		for i := 0; i < np; i++ {
+			jtj[i] = make([]float64, np)
+		}
+		for r := 0; r < m; r++ {
+			row := jac[r]
+			for i := 0; i < np; i++ {
+				for j := i; j < np; j++ {
+					jtj[i][j] += row[i] * row[j]
+				}
+				jtr[i] += row[i] * resid[r]
+			}
+		}
+		for i := 0; i < np; i++ {
+			for j := 0; j < i; j++ {
+				jtj[i][j] = jtj[j][i]
+			}
+		}
+
+		improved := false
+		// Try increasingly damped steps until one improves the residual.
+		for attempt := 0; attempt < 12; attempt++ {
+			damped := make([][]float64, np)
+			for i := 0; i < np; i++ {
+				damped[i] = append([]float64(nil), jtj[i]...)
+				d := jtj[i][i]
+				if d == 0 {
+					d = 1e-12
+				}
+				damped[i][i] += lambda * d
+			}
+			delta, err := SolveLinear(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			for i := range trial {
+				trial[i] = params[i] + delta[i]
+			}
+			o.project(trial)
+			trialSSE := residuals(model, trial, xs, ys, o.Weights, trialResid)
+			if !math.IsNaN(trialSSE) && trialSSE < sse {
+				rel := (sse - trialSSE) / math.Max(sse, 1e-300)
+				copy(params, trial)
+				copy(resid, trialResid)
+				sse = trialSSE
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if rel < o.Tolerance {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= 10
+		}
+		res.Params = params
+		res.Residual = sse
+		if res.Converged || !improved {
+			// No further progress possible (or converged): stop. A stall
+			// with a tiny residual still counts as convergence.
+			if !improved && sse <= 1e-18 {
+				res.Converged = true
+			}
+			if !improved && !res.Converged {
+				// Stalled: report the best point found; callers inspect
+				// Converged to decide whether to trust the extrapolation.
+				res.Converged = sse < math.Inf(1)
+			}
+			break
+		}
+	}
+	return res, nil
+}
+
+// residuals fills out[i] = √wᵢ·(ys[i] − model(params, xs[i])) and returns
+// the weighted sum of squares (NaN if the model produced a non-finite
+// value). A nil ws means unit weights.
+func residuals(model Func, params, xs, ys, ws, out []float64) float64 {
+	sse := 0.0
+	for i, x := range xs {
+		v := model(params, x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.NaN()
+		}
+		r := ys[i] - v
+		if ws != nil {
+			r *= math.Sqrt(math.Max(ws[i], 0))
+		}
+		out[i] = r
+		sse += r * r
+	}
+	return sse
+}
+
+// numericJacobian fills jac[i][j] = √wᵢ·∂model(params, xs[i])/∂params[j]
+// using central differences with per-parameter scaled steps. A nil ws
+// means unit weights.
+func numericJacobian(model Func, params, xs, ws []float64, jac [][]float64, eps float64) {
+	np := len(params)
+	p := append([]float64(nil), params...)
+	for j := 0; j < np; j++ {
+		h := eps * math.Max(1, math.Abs(p[j]))
+		orig := p[j]
+		p[j] = orig + h
+		for i, x := range xs {
+			jac[i][j] = model(p, x)
+		}
+		p[j] = orig - h
+		inv := 1 / (2 * h)
+		for i, x := range xs {
+			jac[i][j] = (jac[i][j] - model(p, x)) * inv
+		}
+		p[j] = orig
+	}
+	if ws != nil {
+		for i := range jac {
+			sw := math.Sqrt(math.Max(ws[i], 0))
+			for j := range jac[i] {
+				jac[i][j] *= sw
+			}
+		}
+	}
+}

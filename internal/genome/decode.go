@@ -1,0 +1,371 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+
+	"a4nn/internal/nn"
+	"a4nn/internal/tensor"
+)
+
+// convUnit is the NSGA-Net node operation: 3×3 (or 1×1 for the phase
+// input projection) convolution → batch norm → ReLU.
+type convUnit struct {
+	conv *nn.Conv2D
+	bn   *nn.BatchNorm2D
+	relu *nn.ReLU
+}
+
+func newConvUnit(rng *rand.Rand, inC, outC, k, pad int) (*convUnit, error) {
+	conv, err := nn.NewConv2D(rng, inC, outC, k, k, 1, pad)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := nn.NewBatchNorm2D(outC)
+	if err != nil {
+		return nil, err
+	}
+	return &convUnit{conv: conv, bn: bn, relu: nn.NewReLU()}, nil
+}
+
+func (u *convUnit) forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	y, err := u.conv.Forward(x, train)
+	if err != nil {
+		return nil, err
+	}
+	y, err = u.bn.Forward(y, train)
+	if err != nil {
+		return nil, err
+	}
+	return u.relu.Forward(y, train)
+}
+
+func (u *convUnit) backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	g, err := u.relu.Backward(grad)
+	if err != nil {
+		return nil, err
+	}
+	g, err = u.bn.Backward(g)
+	if err != nil {
+		return nil, err
+	}
+	return u.conv.Backward(g)
+}
+
+func (u *convUnit) params() []*nn.Param {
+	ps := append([]*nn.Param(nil), u.conv.Params()...)
+	return append(ps, u.bn.Params()...)
+}
+
+func (u *convUnit) flops(in []int) int64 {
+	total := u.conv.FLOPs(in)
+	out, err := u.conv.OutShape(in)
+	if err != nil {
+		return total
+	}
+	return total + u.bn.FLOPs(out) + u.relu.FLOPs(out)
+}
+
+// PhaseBlock is one decoded phase: an input-projection unit followed by
+// the phase's active DAG of convolutional nodes. Node j's input is the
+// sum of its active predecessors' outputs (or the projected phase input
+// when it has none); the phase output is the sum of all sink nodes plus,
+// when the genome's skip bit is set, the projected input (a residual
+// connection). A phase whose DAG is empty degenerates to the projection
+// unit alone, which is how all-zero genomes stay trainable while costing
+// the fewest FLOPs.
+type PhaseBlock struct {
+	inC, width int
+	topo       phaseTopology
+	proj       *convUnit
+	nodes      []*convUnit // indexed by node id; nil when inactive
+
+	// forward caches
+	x0      *tensor.Tensor
+	nodeIn  []*tensor.Tensor
+	nodeOut []*tensor.Tensor
+}
+
+// NewPhaseBlock decodes one phase of the genome into a block with the
+// given input channels and phase width.
+func NewPhaseBlock(rng *rand.Rand, g *Genome, phase, inC, width int) (*PhaseBlock, error) {
+	if phase < 0 || phase >= len(g.Phases) {
+		return nil, fmt.Errorf("genome: phase %d out of range [0,%d)", phase, len(g.Phases))
+	}
+	if inC <= 0 || width <= 0 {
+		return nil, fmt.Errorf("genome: PhaseBlock needs positive channels, got in=%d width=%d", inC, width)
+	}
+	proj, err := newConvUnit(rng, inC, width, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	b := &PhaseBlock{inC: inC, width: width, topo: g.topology(phase), proj: proj,
+		nodes: make([]*convUnit, g.NodesPerPhase)}
+	for j, active := range b.topo.active {
+		if !active {
+			continue
+		}
+		u, err := newConvUnit(rng, width, width, 3, 1)
+		if err != nil {
+			return nil, err
+		}
+		b.nodes[j] = u
+	}
+	return b, nil
+}
+
+// Name implements nn.Layer.
+func (b *PhaseBlock) Name() string {
+	n := 0
+	for _, a := range b.topo.active {
+		if a {
+			n++
+		}
+	}
+	return fmt.Sprintf("phase(w=%d,nodes=%d,skip=%t)", b.width, n, b.topo.skip)
+}
+
+// Params implements nn.Layer.
+func (b *PhaseBlock) Params() []*nn.Param {
+	ps := b.proj.params()
+	for _, u := range b.nodes {
+		if u != nil {
+			ps = append(ps, u.params()...)
+		}
+	}
+	return ps
+}
+
+// StateTensors implements nn.Stateful: the batch-norm running statistics
+// of the projection unit and every active node, so decoded networks
+// serialize completely.
+func (b *PhaseBlock) StateTensors() []*tensor.Tensor {
+	out := b.proj.bn.StateTensors()
+	for _, u := range b.nodes {
+		if u != nil {
+			out = append(out, u.bn.StateTensors()...)
+		}
+	}
+	return out
+}
+
+// OutShape implements nn.Layer.
+func (b *PhaseBlock) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != b.inC {
+		return nil, fmt.Errorf("genome: %s expects (%d,H,W) input, got %v", b.Name(), b.inC, in)
+	}
+	return []int{b.width, in[1], in[2]}, nil
+}
+
+// FLOPs implements nn.Layer.
+func (b *PhaseBlock) FLOPs(in []int) int64 {
+	if _, err := b.OutShape(in); err != nil {
+		return 0
+	}
+	total := b.proj.flops(in)
+	nodeIn := []int{b.width, in[1], in[2]}
+	spat := int64(in[1] * in[2])
+	for j, u := range b.nodes {
+		if u == nil {
+			continue
+		}
+		total += u.flops(nodeIn)
+		// Summing k>1 predecessor maps costs (k−1)·width·H·W adds.
+		if k := len(b.topo.preds[j]); k > 1 {
+			total += int64(k-1) * int64(b.width) * spat
+		}
+	}
+	if len(b.topo.outs) > 1 {
+		total += int64(len(b.topo.outs)-1) * int64(b.width) * spat
+	}
+	if b.topo.skip {
+		total += int64(b.width) * spat
+	}
+	return total
+}
+
+// Forward implements nn.Layer.
+func (b *PhaseBlock) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	x0, err := b.proj.forward(x, train)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %s proj: %w", b.Name(), err)
+	}
+	if train {
+		b.x0 = x0
+		b.nodeIn = make([]*tensor.Tensor, len(b.nodes))
+		b.nodeOut = make([]*tensor.Tensor, len(b.nodes))
+	}
+	anyActive := false
+	for _, u := range b.nodes {
+		if u != nil {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		return x0, nil
+	}
+
+	outs := make([]*tensor.Tensor, len(b.nodes))
+	for j, u := range b.nodes {
+		if u == nil {
+			continue
+		}
+		var in *tensor.Tensor
+		if preds := b.topo.preds[j]; len(preds) == 0 {
+			in = x0
+		} else {
+			in = outs[preds[0]].Clone()
+			for _, i := range preds[1:] {
+				in.AddScaled(outs[i], 1)
+			}
+		}
+		out, err := u.forward(in, train)
+		if err != nil {
+			return nil, fmt.Errorf("genome: %s node %d: %w", b.Name(), j, err)
+		}
+		outs[j] = out
+		if train {
+			b.nodeIn[j] = in
+			b.nodeOut[j] = out
+		}
+	}
+
+	sum := outs[b.topo.outs[0]].Clone()
+	for _, j := range b.topo.outs[1:] {
+		sum.AddScaled(outs[j], 1)
+	}
+	if b.topo.skip {
+		sum.AddScaled(x0, 1)
+	}
+	return sum, nil
+}
+
+// Backward implements nn.Layer.
+func (b *PhaseBlock) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if b.x0 == nil {
+		return nil, fmt.Errorf("genome: %s: Backward without prior training Forward", b.Name())
+	}
+	anyActive := false
+	for _, u := range b.nodes {
+		if u != nil {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		return b.proj.backward(grad)
+	}
+
+	nodeGrad := make([]*tensor.Tensor, len(b.nodes))
+	dx0 := tensor.New(b.x0.Shape()...)
+	for _, j := range b.topo.outs {
+		nodeGrad[j] = grad.Clone()
+	}
+	if b.topo.skip {
+		dx0.AddScaled(grad, 1)
+	}
+	for j := len(b.nodes) - 1; j >= 0; j-- {
+		u := b.nodes[j]
+		if u == nil {
+			continue
+		}
+		if nodeGrad[j] == nil {
+			// Every active node feeds some sink, so this is unreachable;
+			// guard anyway to fail loudly rather than nil-panic.
+			return nil, fmt.Errorf("genome: %s node %d received no gradient", b.Name(), j)
+		}
+		din, err := u.backward(nodeGrad[j])
+		if err != nil {
+			return nil, fmt.Errorf("genome: %s node %d backward: %w", b.Name(), j, err)
+		}
+		if preds := b.topo.preds[j]; len(preds) == 0 {
+			dx0.AddScaled(din, 1)
+		} else {
+			for _, i := range preds {
+				if nodeGrad[i] == nil {
+					nodeGrad[i] = din.Clone()
+				} else {
+					nodeGrad[i].AddScaled(din, 1)
+				}
+			}
+		}
+	}
+	return b.proj.backward(dx0)
+}
+
+// DecodeConfig controls genome decoding.
+type DecodeConfig struct {
+	// InShape is the per-sample input shape (C, H, W).
+	InShape []int
+	// Widths gives the channel width of each phase; its length must match
+	// the genome's phase count. Pooling halves the spatial size between
+	// phases.
+	Widths []int
+	// NumClasses sizes the classifier head.
+	NumClasses int
+}
+
+// DefaultDecodeConfig mirrors the laptop-scale evaluation setup: 32×32
+// single-channel diffraction images, three phases widening 8→16→32, two
+// classes. Real training uses this configuration.
+func DefaultDecodeConfig() DecodeConfig {
+	return DecodeConfig{InShape: []int{1, 32, 32}, Widths: []int{8, 16, 32}, NumClasses: 2}
+}
+
+// PaperDecodeConfig mirrors the paper-scale networks: 128×128 diffraction
+// detectors and phase widths 16→32→64, which puts decoded models in the
+// hundreds-of-MFLOPs range of the paper's accuracy-vs-FLOPS plots. The
+// surrogate trainer uses it so simulated wall times land at paper scale
+// (tens of hours per 100-network test on one device).
+func PaperDecodeConfig() DecodeConfig {
+	return DecodeConfig{InShape: []int{1, 128, 128}, Widths: []int{16, 32, 64}, NumClasses: 2}
+}
+
+// Decode builds a trainable network from the genome: one PhaseBlock per
+// phase with 2×2 max pooling between phases, then global average pooling
+// and a dense classifier. Weights are initialised from rng; the network
+// ID is the genome hash.
+func Decode(g *Genome, cfg DecodeConfig, rng *rand.Rand) (*nn.Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Widths) != len(g.Phases) {
+		return nil, fmt.Errorf("genome: %d widths for %d phases", len(cfg.Widths), len(g.Phases))
+	}
+	if len(cfg.InShape) != 3 {
+		return nil, fmt.Errorf("genome: InShape must be (C,H,W), got %v", cfg.InShape)
+	}
+	if cfg.NumClasses < 2 {
+		return nil, fmt.Errorf("genome: NumClasses must be ≥ 2, got %d", cfg.NumClasses)
+	}
+	var layers []nn.Layer
+	inC := cfg.InShape[0]
+	h, w := cfg.InShape[1], cfg.InShape[2]
+	for p, width := range cfg.Widths {
+		block, err := NewPhaseBlock(rng, g, p, inC, width)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, block)
+		inC = width
+		if p < len(cfg.Widths)-1 {
+			if h < 2 || w < 2 {
+				return nil, fmt.Errorf("genome: input %v too small for %d pooled phases", cfg.InShape, len(cfg.Widths))
+			}
+			pool, err := nn.NewMaxPool2D(2, 2)
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, pool)
+			h, w = h/2, w/2
+		}
+	}
+	layers = append(layers, nn.NewGlobalAvgPool2D())
+	dense, err := nn.NewDense(rng, inC, cfg.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	layers = append(layers, dense)
+	return nn.NewNetwork(g.Hash(), cfg.InShape, layers...)
+}

@@ -1,0 +1,148 @@
+// Package lineage records the complete training lifespan of every neural
+// network the workflow touches (paper §2.3): architecture and genome,
+// per-epoch training/validation fitness, the prediction engine's
+// prediction history, epoch times, FLOPs, engine parameters, and
+// termination state. One Record is the "record trail" the paper uploads
+// to its Dataverse data commons; internal/commons persists them.
+package lineage
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// EngineParams captures the prediction-engine configuration active during
+// a run (Table 1), stored with every record for reproducibility.
+type EngineParams struct {
+	Family     string  `json:"family"`
+	CMin       int     `json:"c_min"`
+	EPred      int     `json:"e_pred"`
+	N          int     `json:"n"`
+	R          float64 `json:"r"`
+	MinFitness float64 `json:"min_fitness"`
+	MaxFitness float64 `json:"max_fitness"`
+}
+
+// EpochEntry is one epoch of the record trail.
+type EpochEntry struct {
+	// Epoch is 1-based.
+	Epoch int `json:"epoch"`
+	// TrainLoss is the mean training loss of the epoch.
+	TrainLoss float64 `json:"train_loss"`
+	// TrainAccuracy and ValAccuracy are percentages.
+	TrainAccuracy float64 `json:"train_accuracy"`
+	ValAccuracy   float64 `json:"val_accuracy"`
+	// Prediction is the engine's fitness prediction made after this
+	// epoch; NaN-free: HasPrediction marks presence.
+	Prediction    float64 `json:"prediction"`
+	HasPrediction bool    `json:"has_prediction"`
+	// SimSeconds is the epoch's simulated duration on its device.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// Record is the full record trail of one NN.
+type Record struct {
+	// ID is the genome hash; it identifies the architecture.
+	ID string `json:"id"`
+	// Genome is the bit-string encoding.
+	Genome        string `json:"genome"`
+	NodesPerPhase int    `json:"nodes_per_phase"`
+	// Generation is the NAS generation that created the network.
+	Generation int `json:"generation"`
+	// Architecture is the decoded layer-by-layer description.
+	Architecture string `json:"architecture"`
+	NumParams    int    `json:"num_params"`
+	FLOPs        int64  `json:"flops"`
+	// Beam names the dataset variant (low/medium/high).
+	Beam string `json:"beam"`
+	// DeviceID is the accelerator the network trained on.
+	DeviceID int `json:"device_id"`
+
+	Epochs []EpochEntry `json:"epochs"`
+
+	// Terminated reports early termination by the prediction engine;
+	// TerminationEpoch is the paper's e_t (= len(Epochs) when terminated).
+	Terminated       bool `json:"terminated"`
+	TerminationEpoch int  `json:"termination_epoch"`
+	// FinalFitness is the fitness reported to the NAS: the converged
+	// prediction when terminated early, else the last validation accuracy.
+	FinalFitness float64 `json:"final_fitness"`
+
+	Engine *EngineParams `json:"engine,omitempty"`
+	// CreatedAt timestamps the record.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Validate reports the first structural problem with the record, or nil.
+func (r *Record) Validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("lineage: record has no ID")
+	}
+	if r.Genome == "" {
+		return fmt.Errorf("lineage: record %s has no genome", r.ID)
+	}
+	for i, e := range r.Epochs {
+		if e.Epoch != i+1 {
+			return fmt.Errorf("lineage: record %s epoch %d labelled %d", r.ID, i+1, e.Epoch)
+		}
+	}
+	if r.Terminated && r.TerminationEpoch != len(r.Epochs) {
+		return fmt.Errorf("lineage: record %s terminated at %d but has %d epochs", r.ID, r.TerminationEpoch, len(r.Epochs))
+	}
+	return nil
+}
+
+// FitnessHistory returns the per-epoch validation accuracies (the paper's H).
+func (r *Record) FitnessHistory() []float64 {
+	h := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		h[i] = e.ValAccuracy
+	}
+	return h
+}
+
+// PredictionHistory returns the engine's predictions in order (the paper's P).
+func (r *Record) PredictionHistory() []float64 {
+	var p []float64
+	for _, e := range r.Epochs {
+		if e.HasPrediction {
+			p = append(p, e.Prediction)
+		}
+	}
+	return p
+}
+
+// EpochsTrained returns the number of epochs actually trained.
+func (r *Record) EpochsTrained() int { return len(r.Epochs) }
+
+// SimSeconds sums the simulated duration of all epochs.
+func (r *Record) SimSeconds() float64 {
+	s := 0.0
+	for _, e := range r.Epochs {
+		s += e.SimSeconds
+	}
+	return s
+}
+
+// MarshalJSON ensures records serialise with a stable layout. (The
+// default marshalling is already deterministic; this wrapper exists so
+// the wire format is an explicit, documented contract.)
+func (r *Record) MarshalBytes() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// UnmarshalBytes parses a record previously produced by MarshalBytes.
+func UnmarshalBytes(data []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lineage: decode record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,111 @@
+package lineage
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		ID:            "abc123",
+		Genome:        "1010001|0000000|1111111",
+		NodesPerPhase: 4,
+		Generation:    2,
+		Architecture:  "phase(w=8)...",
+		NumParams:     1234,
+		FLOPs:         5678,
+		Beam:          "medium",
+		DeviceID:      1,
+		Epochs: []EpochEntry{
+			{Epoch: 1, TrainLoss: 0.9, TrainAccuracy: 55, ValAccuracy: 54, SimSeconds: 10},
+			{Epoch: 2, TrainLoss: 0.6, TrainAccuracy: 70, ValAccuracy: 68, SimSeconds: 10},
+			{Epoch: 3, TrainLoss: 0.4, TrainAccuracy: 80, ValAccuracy: 78, Prediction: 91, HasPrediction: true, SimSeconds: 10},
+			{Epoch: 4, TrainLoss: 0.3, TrainAccuracy: 85, ValAccuracy: 83, Prediction: 91.2, HasPrediction: true, SimSeconds: 10},
+		},
+		Terminated:       true,
+		TerminationEpoch: 4,
+		FinalFitness:     91.2,
+		Engine:           &EngineParams{Family: "a-b^(c-x)", CMin: 3, EPred: 25, N: 3, R: 0.5, MaxFitness: 100},
+		CreatedAt:        time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := sampleRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleRecord()
+	bad.ID = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing ID must fail")
+	}
+	bad = sampleRecord()
+	bad.Genome = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing genome must fail")
+	}
+	bad = sampleRecord()
+	bad.Epochs[1].Epoch = 7
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mislabelled epoch must fail")
+	}
+	bad = sampleRecord()
+	bad.TerminationEpoch = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inconsistent termination epoch must fail")
+	}
+}
+
+func TestHistoriesAndAggregates(t *testing.T) {
+	r := sampleRecord()
+	h := r.FitnessHistory()
+	if len(h) != 4 || h[0] != 54 || h[3] != 83 {
+		t.Fatalf("H = %v", h)
+	}
+	p := r.PredictionHistory()
+	if len(p) != 2 || p[0] != 91 || p[1] != 91.2 {
+		t.Fatalf("P = %v", p)
+	}
+	if r.EpochsTrained() != 4 {
+		t.Fatalf("EpochsTrained = %d", r.EpochsTrained())
+	}
+	if r.SimSeconds() != 40 {
+		t.Fatalf("SimSeconds = %v", r.SimSeconds())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	data, err := r.MarshalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != r.ID || back.FinalFitness != r.FinalFitness || len(back.Epochs) != 4 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Engine == nil || back.Engine.EPred != 25 {
+		t.Fatalf("engine params lost: %+v", back.Engine)
+	}
+	if !back.Epochs[2].HasPrediction || back.Epochs[2].Prediction != 91 {
+		t.Fatal("prediction flags lost")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	r := sampleRecord()
+	r.ID = ""
+	if _, err := r.MarshalBytes(); err == nil {
+		t.Fatal("invalid record must not marshal")
+	}
+	if _, err := UnmarshalBytes([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	if _, err := UnmarshalBytes([]byte(`{"id":""}`)); err == nil {
+		t.Fatal("invalid decoded record must fail")
+	}
+}

@@ -1,0 +1,26 @@
+package nn
+
+import "math"
+
+// ClipGradNorm rescales all parameter gradients in place so that their
+// global Euclidean norm does not exceed maxNorm, the standard defence
+// against exploding gradients in deep or randomly-wired networks (some
+// NAS-decoded architectures are exactly that). It returns the norm before
+// clipping. maxNorm ≤ 0 leaves gradients untouched.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.Grad.ScaleInPlace(scale)
+	}
+	return norm
+}

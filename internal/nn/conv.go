@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"a4nn/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches, implemented as a batched
+// im2col + matrix multiplication so the parallel MatMul kernel does the
+// heavy lifting.
+type Conv2D struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	W           *Param // (OutC, InC·KH·KW)
+	B           *Param // (OutC)
+
+	// forward cache
+	cols       *tensor.Tensor // (InC·KH·KW, N·OH·OW)
+	inH, inW   int
+	batch      int
+	outH, outW int
+}
+
+// NewConv2D creates a convolution with He-normal initialised weights.
+func NewConv2D(rng *rand.Rand, inC, outC, kh, kw, stride, pad int) (*Conv2D, error) {
+	if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 {
+		return nil, fmt.Errorf("nn: Conv2D invalid geometry inC=%d outC=%d k=%dx%d", inC, outC, kh, kw)
+	}
+	if stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: Conv2D invalid stride=%d pad=%d", stride, pad)
+	}
+	fanIn := inC * kh * kw
+	std := math.Sqrt(2.0 / float64(fanIn))
+	w := tensor.Randn(rng, 0, std, outC, fanIn)
+	b := tensor.New(outC)
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		W: newParam(fmt.Sprintf("conv%dx%d.W", kh, kw), w),
+		B: newParam(fmt.Sprintf("conv%dx%d.B", kh, kw), b),
+	}, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d->%d,s%d,p%d)", c.KH, c.KW, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.InC {
+		return nil, errShape(c.Name(), []int{c.InC, -1, -1}, in)
+	}
+	oh, err := tensor.ConvOutSize(in[1], c.KH, c.Stride, c.Pad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
+	}
+	ow, err := tensor.ConvOutSize(in[2], c.KW, c.Stride, c.Pad)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
+	}
+	return []int{c.OutC, oh, ow}, nil
+}
+
+// FLOPs implements Layer: 2·InC·KH·KW multiply-adds per output element.
+func (c *Conv2D) FLOPs(in []int) int64 {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	perOut := int64(2*c.InC*c.KH*c.KW + 1) // MACs + bias
+	return perOut * int64(shapeProduct(out))
+}
+
+// Forward implements Layer for x of shape (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		return nil, errShape(c.Name(), "(N,inC,H,W)", x.Shape())
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outShape, err := c.OutShape([]int{c.InC, h, w})
+	if err != nil {
+		return nil, err
+	}
+	oh, ow := outShape[1], outShape[2]
+	ckk := c.InC * c.KH * c.KW
+	spat := oh * ow
+
+	// Batched im2col: column s of sample i lands in column i·spat+s.
+	cols := tensor.New(ckk, n*spat)
+	sampleLen := c.InC * h * w
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := tensor.FromSlice(x.Data()[i*sampleLen:(i+1)*sampleLen], c.InC, h, w)
+			if err != nil {
+				return // unreachable: slice length matches by construction
+			}
+			sc, err := tensor.Im2Col(sub, c.KH, c.KW, c.Stride, c.Pad)
+			if err != nil {
+				return
+			}
+			// Copy sample columns into the batched matrix.
+			src := sc.Data()
+			dst := cols.Data()
+			for r := 0; r < ckk; r++ {
+				copy(dst[r*n*spat+i*spat:r*n*spat+(i+1)*spat], src[r*spat:(r+1)*spat])
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	prod, err := tensor.MatMul(c.W.Value, cols) // (OutC, N·spat)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s forward: %w", c.Name(), err)
+	}
+
+	// Rearrange (OutC, N·spat) → (N, OutC, OH, OW) and add bias.
+	y := tensor.New(n, c.OutC, oh, ow)
+	pd, yd, bd := prod.Data(), y.Data(), c.B.Value.Data()
+	for f := 0; f < c.OutC; f++ {
+		bias := bd[f]
+		for i := 0; i < n; i++ {
+			src := pd[f*n*spat+i*spat : f*n*spat+(i+1)*spat]
+			dst := yd[i*c.OutC*spat+f*spat : i*c.OutC*spat+(f+1)*spat]
+			for s, v := range src {
+				dst[s] = v + bias
+			}
+		}
+	}
+
+	if train {
+		c.cols, c.batch, c.inH, c.inW, c.outH, c.outW = cols, n, h, w, oh, ow
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.cols == nil {
+		return nil, fmt.Errorf("nn: %s: Backward without prior training Forward", c.Name())
+	}
+	n, oh, ow := c.batch, c.outH, c.outW
+	spat := oh * ow
+	if grad.Rank() != 4 || grad.Dim(0) != n || grad.Dim(1) != c.OutC || grad.Dim(2) != oh || grad.Dim(3) != ow {
+		return nil, errShape(c.Name()+" backward", []int{n, c.OutC, oh, ow}, grad.Shape())
+	}
+
+	// Rearrange grad (N, OutC, spat) → G (OutC, N·spat).
+	g := tensor.New(c.OutC, n*spat)
+	gd, rd := g.Data(), grad.Data()
+	for i := 0; i < n; i++ {
+		for f := 0; f < c.OutC; f++ {
+			src := rd[i*c.OutC*spat+f*spat : i*c.OutC*spat+(f+1)*spat]
+			copy(gd[f*n*spat+i*spat:f*n*spat+(i+1)*spat], src)
+		}
+	}
+
+	// dW += G · colsᵀ ; db += row sums of G.
+	dw, err := tensor.MatMulTransB(g, c.cols)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward dW: %w", c.Name(), err)
+	}
+	c.W.Grad.AddScaled(dw, 1)
+	bg := c.B.Grad.Data()
+	for f := 0; f < c.OutC; f++ {
+		s := 0.0
+		for _, v := range gd[f*n*spat : (f+1)*n*spat] {
+			s += v
+		}
+		bg[f] += s
+	}
+
+	// dcols = Wᵀ · G, then per-sample col2im.
+	dcols, err := tensor.MatMulTransA(c.W.Value, g)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward dcols: %w", c.Name(), err)
+	}
+	ckk := c.InC * c.KH * c.KW
+	dx := tensor.New(n, c.InC, c.inH, c.inW)
+	sampleLen := c.InC * c.inH * c.inW
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Gather this sample's columns into a contiguous (ckk, spat).
+			sc := tensor.New(ckk, spat)
+			src, dst := dcols.Data(), sc.Data()
+			for r := 0; r < ckk; r++ {
+				copy(dst[r*spat:(r+1)*spat], src[r*n*spat+i*spat:r*n*spat+(i+1)*spat])
+			}
+			img, err := tensor.Col2Im(sc, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(dx.Data()[i*sampleLen:(i+1)*sampleLen], img.Data())
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("nn: %s backward col2im: %w", c.Name(), e)
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"a4nn/internal/tensor"
+)
+
+// Dense is a fully connected layer y = x·Wᵀ + b over batches of shape
+// (N, In); W has shape (Out, In).
+type Dense struct {
+	In, Out int
+	W       *Param
+	B       *Param
+	x       *tensor.Tensor // forward cache
+}
+
+// NewDense creates a dense layer with He-normal initialised weights.
+func NewDense(rng *rand.Rand, in, out int) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: Dense invalid geometry in=%d out=%d", in, out)
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	return &Dense{
+		In: in, Out: out,
+		W: newParam("dense.W", tensor.Randn(rng, 0, std, out, in)),
+		B: newParam("dense.B", tensor.New(out)),
+	}, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.In {
+		return nil, errShape(d.Name(), []int{d.In}, in)
+	}
+	return []int{d.Out}, nil
+}
+
+// FLOPs implements Layer: 2·In MACs + 1 bias add per output unit.
+func (d *Dense) FLOPs(in []int) int64 {
+	if _, err := d.OutShape(in); err != nil {
+		return 0
+	}
+	return int64(d.Out) * int64(2*d.In+1)
+}
+
+// Forward implements Layer for x of shape (N, In).
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		return nil, errShape(d.Name(), "(N,in)", x.Shape())
+	}
+	y, err := tensor.MatMulTransB(x, d.W.Value) // (N, Out)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s forward: %w", d.Name(), err)
+	}
+	n := x.Dim(0)
+	yd, bd := y.Data(), d.B.Value.Data()
+	for i := 0; i < n; i++ {
+		row := yd[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	if train {
+		d.x = x
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.x == nil {
+		return nil, fmt.Errorf("nn: %s: Backward without prior training Forward", d.Name())
+	}
+	n := d.x.Dim(0)
+	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != d.Out {
+		return nil, errShape(d.Name()+" backward", []int{n, d.Out}, grad.Shape())
+	}
+	dw, err := tensor.MatMulTransA(grad, d.x) // gradᵀ·x → (Out, In)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward dW: %w", d.Name(), err)
+	}
+	d.W.Grad.AddScaled(dw, 1)
+	bg, gd := d.B.Grad.Data(), grad.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	dx, err := tensor.MatMul(grad, d.W.Value) // (N, In)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s backward dx: %w", d.Name(), err)
+	}
+	return dx, nil
+}

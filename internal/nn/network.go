@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"a4nn/internal/tensor"
+)
+
+// Network is an ordered sequence of layers trained end to end.
+type Network struct {
+	// ID labels the network (the NAS uses the genome hash).
+	ID string
+	// InShape is the per-sample input shape, e.g. (C, H, W).
+	InShape []int
+	Layers  []Layer
+}
+
+// NewNetwork validates that the layers compose over the given input shape
+// and returns the network.
+func NewNetwork(id string, inShape []int, layers ...Layer) (*Network, error) {
+	n := &Network{ID: id, InShape: append([]int(nil), inShape...), Layers: layers}
+	if _, err := n.OutShape(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// OutShape returns the per-sample output shape of the whole network.
+func (n *Network) OutShape() ([]int, error) {
+	shape := n.InShape
+	for i, l := range n.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: network %q layer %d (%s): %w", n.ID, i, l.Name(), err)
+		}
+		shape = out
+	}
+	return shape, nil
+}
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range n.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("nn: network %q layer %d forward: %w", n.ID, i, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates ∂L/∂output back through every layer, accumulating
+// parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) error {
+	var err error
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(grad)
+		if err != nil {
+			return fmt.Errorf("nn: network %q layer %d backward: %w", n.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// Params returns every trainable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Len()
+	}
+	return total
+}
+
+// FLOPs estimates the floating-point operations of one forward pass for a
+// single sample. The experiment harness reports MFLOPs (FLOPs/1e6), which
+// is the unit the paper's accuracy-vs-FLOPS Pareto plots use.
+func (n *Network) FLOPs() (int64, error) {
+	shape := n.InShape
+	var total int64
+	for i, l := range n.Layers {
+		total += l.FLOPs(shape)
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return 0, fmt.Errorf("nn: network %q layer %d (%s): %w", n.ID, i, l.Name(), err)
+		}
+		shape = out
+	}
+	return total, nil
+}
+
+// Describe renders a one-line-per-layer architecture summary.
+func (n *Network) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %q input %v\n", n.ID, n.InShape)
+	shape := n.InShape
+	for i, l := range n.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			fmt.Fprintf(&b, "  %2d %-28s <shape error: %v>\n", i, l.Name(), err)
+			return b.String()
+		}
+		fmt.Fprintf(&b, "  %2d %-28s %v -> %v\n", i, l.Name(), shape, out)
+		shape = out
+	}
+	fmt.Fprintf(&b, "params=%d flops=%d\n", n.NumParams(), mustFLOPs(n))
+	return b.String()
+}
+
+func mustFLOPs(n *Network) int64 {
+	f, err := n.FLOPs()
+	if err != nil {
+		return -1
+	}
+	return f
+}
+
+// Stateful is implemented by layers carrying non-trainable state that
+// must survive serialization (batch-norm running statistics). Composite
+// layers (e.g. the genome package's PhaseBlock) aggregate their children's
+// state tensors. The returned tensors are live views: mutating them
+// mutates the layer.
+type Stateful interface {
+	StateTensors() []*tensor.Tensor
+}
+
+// StateTensors implements Stateful for BatchNorm2D.
+func (b *BatchNorm2D) StateTensors() []*tensor.Tensor {
+	return []*tensor.Tensor{b.RunningMean, b.RunningVar}
+}
+
+// stateTensors collects every Stateful layer's tensors in layer order.
+func (n *Network) stateTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.Layers {
+		if s, ok := l.(Stateful); ok {
+			out = append(out, s.StateTensors()...)
+		}
+	}
+	return out
+}
+
+// netState is the gob wire form of a network's parameters and layer
+// state (batch-norm running statistics).
+type netState struct {
+	ID     string
+	Params [][]float64
+	State  [][]float64
+}
+
+// SaveState serialises the network's trainable parameters and the
+// non-trainable state of every Stateful layer (including those nested in
+// composite layers). Together with the genome (which reconstructs the
+// architecture) this is the "model state" the lineage tracker snapshots
+// after every epoch (paper §2.2.2).
+func (n *Network) SaveState() ([]byte, error) {
+	st := netState{ID: n.ID}
+	for _, p := range n.Params() {
+		st.Params = append(st.Params, append([]float64(nil), p.Value.Data()...))
+	}
+	for _, s := range n.stateTensors() {
+		st.State = append(st.State, append([]float64(nil), s.Data()...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode state of %q: %w", n.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadState restores parameters and layer state saved by SaveState into
+// an architecturally identical network.
+func (n *Network) LoadState(data []byte) error {
+	var st netState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("nn: decode state: %w", err)
+	}
+	params := n.Params()
+	if len(st.Params) != len(params) {
+		return fmt.Errorf("nn: state has %d parameter tensors, network %q has %d", len(st.Params), n.ID, len(params))
+	}
+	for i, p := range params {
+		if len(st.Params[i]) != p.Value.Len() {
+			return fmt.Errorf("nn: parameter %d size mismatch: state %d vs network %d", i, len(st.Params[i]), p.Value.Len())
+		}
+	}
+	states := n.stateTensors()
+	if len(st.State) != len(states) {
+		return fmt.Errorf("nn: state has %d state tensors, network %q has %d", len(st.State), n.ID, len(states))
+	}
+	for i, s := range states {
+		if len(st.State[i]) != s.Len() {
+			return fmt.Errorf("nn: state tensor %d size mismatch: state %d vs network %d", i, len(st.State[i]), s.Len())
+		}
+	}
+	// All sizes verified: apply.
+	for i, p := range params {
+		copy(p.Value.Data(), st.Params[i])
+	}
+	for i, s := range states {
+		copy(s.Data(), st.State[i])
+	}
+	return nil
+}

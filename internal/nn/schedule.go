@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LRScheduler maps a 1-based epoch to a learning rate. The training loop
+// (core.RealTrainer) queries it before each epoch and applies the rate to
+// the optimizer.
+type LRScheduler interface {
+	// Name identifies the schedule.
+	Name() string
+	// LR returns the learning rate for the given epoch (1-based).
+	LR(epoch int) float64
+}
+
+// SetLR is implemented by optimizers whose learning rate can be changed
+// between epochs; both SGD and Adam implement it.
+type SetLR interface {
+	SetLR(lr float64)
+}
+
+// SetLR implements the SetLR interface for SGD.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// SetLR implements the SetLR interface for Adam.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// ConstantLR keeps a fixed learning rate.
+type ConstantLR struct{ Base float64 }
+
+// Name implements LRScheduler.
+func (c ConstantLR) Name() string { return fmt.Sprintf("const(%g)", c.Base) }
+
+// LR implements LRScheduler.
+func (c ConstantLR) LR(epoch int) float64 { return c.Base }
+
+// StepLR multiplies the base rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	Gamma    float64
+	StepSize int
+}
+
+// NewStepLR validates and builds a step schedule.
+func NewStepLR(base, gamma float64, stepSize int) (StepLR, error) {
+	if base <= 0 || gamma <= 0 || gamma > 1 || stepSize < 1 {
+		return StepLR{}, fmt.Errorf("nn: invalid StepLR(base=%v, gamma=%v, step=%d)", base, gamma, stepSize)
+	}
+	return StepLR{Base: base, Gamma: gamma, StepSize: stepSize}, nil
+}
+
+// Name implements LRScheduler.
+func (s StepLR) Name() string {
+	return fmt.Sprintf("step(%g,x%g/%d)", s.Base, s.Gamma, s.StepSize)
+}
+
+// LR implements LRScheduler.
+func (s StepLR) LR(epoch int) float64 {
+	if epoch < 1 {
+		epoch = 1
+	}
+	return s.Base * math.Pow(s.Gamma, float64((epoch-1)/s.StepSize))
+}
+
+// CosineLR anneals the rate from Base to Min over TotalEpochs following a
+// half cosine, the schedule NSGA-Net itself trains with.
+type CosineLR struct {
+	Base, Min   float64
+	TotalEpochs int
+}
+
+// NewCosineLR validates and builds a cosine schedule.
+func NewCosineLR(base, min float64, totalEpochs int) (CosineLR, error) {
+	if base <= 0 || min < 0 || min > base || totalEpochs < 1 {
+		return CosineLR{}, fmt.Errorf("nn: invalid CosineLR(base=%v, min=%v, total=%d)", base, min, totalEpochs)
+	}
+	return CosineLR{Base: base, Min: min, TotalEpochs: totalEpochs}, nil
+}
+
+// Name implements LRScheduler.
+func (c CosineLR) Name() string {
+	return fmt.Sprintf("cosine(%g->%g/%d)", c.Base, c.Min, c.TotalEpochs)
+}
+
+// LR implements LRScheduler.
+func (c CosineLR) LR(epoch int) float64 {
+	if epoch < 1 {
+		epoch = 1
+	}
+	if epoch > c.TotalEpochs {
+		epoch = c.TotalEpochs
+	}
+	t := float64(epoch-1) / float64(maxInt(c.TotalEpochs-1, 1))
+	return c.Min + (c.Base-c.Min)*(1+math.Cos(math.Pi*t))/2
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"fmt"
+
+	"a4nn/internal/tensor"
+)
+
+// Batch is one mini-batch of classification data: images (N, C, H, W) or
+// feature vectors (N, D), plus integer class labels.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// TrainEpoch runs one optimisation epoch: for every batch, a forward pass,
+// softmax cross-entropy, a backward pass, and an optimizer step. It
+// returns the mean loss across batches.
+func TrainEpoch(net *Network, opt Optimizer, batches []Batch) (meanLoss float64, err error) {
+	return TrainEpochClipped(net, opt, batches, 0)
+}
+
+// TrainEpochClipped is TrainEpoch with global gradient-norm clipping at
+// maxNorm before each optimizer step (0 disables clipping).
+func TrainEpochClipped(net *Network, opt Optimizer, batches []Batch, maxNorm float64) (meanLoss float64, err error) {
+	if len(batches) == 0 {
+		return 0, fmt.Errorf("nn: TrainEpoch with no batches")
+	}
+	var ce SoftmaxCrossEntropy
+	for bi, b := range batches {
+		logits, err := net.Forward(b.X, true)
+		if err != nil {
+			return 0, fmt.Errorf("nn: batch %d: %w", bi, err)
+		}
+		loss, grad, err := ce.Loss(logits, b.Labels)
+		if err != nil {
+			return 0, fmt.Errorf("nn: batch %d: %w", bi, err)
+		}
+		if err := net.Backward(grad); err != nil {
+			return 0, fmt.Errorf("nn: batch %d: %w", bi, err)
+		}
+		params := net.Params()
+		ClipGradNorm(params, maxNorm)
+		opt.Step(params)
+		meanLoss += loss
+	}
+	return meanLoss / float64(len(batches)), nil
+}
+
+// EvaluateClassifier computes classification accuracy (percent) over the
+// batches with the network in evaluation mode.
+func EvaluateClassifier(net *Network, batches []Batch) (accuracy float64, err error) {
+	total, correctWeighted := 0, 0.0
+	for bi, b := range batches {
+		logits, err := net.Forward(b.X, false)
+		if err != nil {
+			return 0, fmt.Errorf("nn: eval batch %d: %w", bi, err)
+		}
+		acc, err := Accuracy(logits, b.Labels)
+		if err != nil {
+			return 0, fmt.Errorf("nn: eval batch %d: %w", bi, err)
+		}
+		n := len(b.Labels)
+		correctWeighted += acc * float64(n)
+		total += n
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("nn: EvaluateClassifier with no samples")
+	}
+	return correctWeighted / float64(total), nil
+}

@@ -1,0 +1,51 @@
+package nsga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypervolume2D computes the hypervolume indicator of a two-objective
+// (minimisation) point set with respect to a reference point: the area
+// dominated by the set and bounded by ref. It is the standard scalar
+// measure of Pareto-front quality — larger is better — and is what the
+// experiment harness uses to compare A4NN's frontiers against the
+// standalone baseline (Figure 6) beyond eyeballing.
+//
+// Points outside the reference box contribute nothing. The input need not
+// be mutually non-dominated; dominated points simply add no area.
+func Hypervolume2D(points [][]float64, ref [2]float64) (float64, error) {
+	var front [][]float64
+	for i, p := range points {
+		if len(p) != 2 {
+			return 0, fmt.Errorf("nsga: hypervolume point %d has %d objectives, want 2", i, len(p))
+		}
+		if p[0] < ref[0] && p[1] < ref[1] {
+			front = append(front, p)
+		}
+	}
+	if len(front) == 0 {
+		return 0, nil
+	}
+	// Sort by the first objective ascending; sweep, keeping the running
+	// best (lowest) second objective.
+	sort.Slice(front, func(a, b int) bool {
+		if front[a][0] != front[b][0] {
+			return front[a][0] < front[b][0]
+		}
+		return front[a][1] < front[b][1]
+	})
+	hv := 0.0
+	prevX := front[0][0]
+	bestY := front[0][1]
+	for _, p := range front[1:] {
+		if p[1] >= bestY {
+			continue // dominated: no new area
+		}
+		hv += (p[0] - prevX) * (ref[1] - bestY)
+		prevX = p[0]
+		bestY = p[1]
+	}
+	hv += (ref[0] - prevX) * (ref[1] - bestY)
+	return hv, nil
+}

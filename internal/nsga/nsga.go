@@ -1,0 +1,222 @@
+package nsga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Individual pairs a candidate payload with its evaluated objectives and
+// the selection metadata NSGA-II assigns.
+type Individual[T any] struct {
+	Payload    T
+	Objectives []float64 // minimised
+	Rank       int       // Pareto front index (0 = non-dominated)
+	Crowding   float64
+	Generation int // generation the individual was created in
+}
+
+// Operators supplies the variation operators for payload type T.
+type Operators[T any] interface {
+	// Random draws a fresh candidate.
+	Random(rng *rand.Rand) (T, error)
+	// Crossover combines two parents into one child.
+	Crossover(rng *rand.Rand, a, b T) (T, error)
+	// Mutate perturbs a candidate (returning a new value).
+	Mutate(rng *rand.Rand, t T) (T, error)
+}
+
+// Evaluator scores one generation of candidates. A4NN plugs in here: its
+// evaluator trains the candidates on the resource manager with the
+// prediction engine attached.
+type Evaluator[T any] interface {
+	// EvaluateAll returns one objective vector (minimised) per candidate.
+	EvaluateAll(generation int, candidates []T) ([][]float64, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc[T any] func(generation int, candidates []T) ([][]float64, error)
+
+// EvaluateAll implements Evaluator.
+func (f EvaluatorFunc[T]) EvaluateAll(generation int, candidates []T) ([][]float64, error) {
+	return f(generation, candidates)
+}
+
+// Config mirrors Table 2 of the paper: the NSGA-Net settings.
+type Config struct {
+	// PopulationSize is the size of the starting population (paper: 10).
+	PopulationSize int
+	// Offspring is the number of children per generation (paper: 10).
+	Offspring int
+	// Generations is the number of evolution steps (paper: 10).
+	Generations int
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+// DefaultConfig returns Table 2's values: population 10, offspring 10,
+// 10 generations (the epoch budget lives with the evaluator).
+func DefaultConfig() Config {
+	return Config{PopulationSize: 10, Offspring: 10, Generations: 10, Seed: 1}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	if c.PopulationSize < 2 {
+		return fmt.Errorf("nsga: population must be ≥ 2, got %d", c.PopulationSize)
+	}
+	if c.Offspring < 1 {
+		return fmt.Errorf("nsga: offspring must be ≥ 1, got %d", c.Offspring)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("nsga: generations must be ≥ 1, got %d", c.Generations)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result[T any] struct {
+	// Population is the final population after environmental selection.
+	Population []Individual[T]
+	// Evaluated holds every individual ever evaluated, in evaluation
+	// order — the paper's "100 networks per test" (population +
+	// offspring × generations... population + offspring·(generations−1)
+	// with the first generation counted as generation 0).
+	Evaluated []Individual[T]
+}
+
+// Run executes NSGA-II. Generation 0 evaluates the random initial
+// population; each subsequent generation creates Offspring children by
+// binary tournament selection, crossover, and mutation, evaluates them,
+// and keeps the best PopulationSize individuals of parents ∪ children.
+func Run[T any](cfg Config, ops Operators[T], eval Evaluator[T]) (*Result[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ops == nil || eval == nil {
+		return nil, fmt.Errorf("nsga: operators and evaluator must be non-nil")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Generation 0: random population.
+	candidates := make([]T, cfg.PopulationSize)
+	for i := range candidates {
+		c, err := ops.Random(rng)
+		if err != nil {
+			return nil, fmt.Errorf("nsga: random candidate %d: %w", i, err)
+		}
+		candidates[i] = c
+	}
+	res := &Result[T]{}
+	pop, err := evaluateGeneration(0, candidates, eval, res)
+	if err != nil {
+		return nil, err
+	}
+	assignRankAndCrowding(pop)
+
+	for gen := 1; gen < cfg.Generations; gen++ {
+		children := make([]T, cfg.Offspring)
+		for i := range children {
+			pa := tournament(rng, pop)
+			pb := tournament(rng, pop)
+			child, err := ops.Crossover(rng, pa.Payload, pb.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("nsga: crossover in generation %d: %w", gen, err)
+			}
+			child, err = ops.Mutate(rng, child)
+			if err != nil {
+				return nil, fmt.Errorf("nsga: mutation in generation %d: %w", gen, err)
+			}
+			children[i] = child
+		}
+		offspring, err := evaluateGeneration(gen, children, eval, res)
+		if err != nil {
+			return nil, err
+		}
+		pop = environmentalSelection(append(pop, offspring...), cfg.PopulationSize)
+	}
+	res.Population = pop
+	return res, nil
+}
+
+// evaluateGeneration scores candidates and appends them to the run's
+// evaluation log.
+func evaluateGeneration[T any](gen int, candidates []T, eval Evaluator[T], res *Result[T]) ([]Individual[T], error) {
+	objs, err := eval.EvaluateAll(gen, candidates)
+	if err != nil {
+		return nil, fmt.Errorf("nsga: evaluate generation %d: %w", gen, err)
+	}
+	if len(objs) != len(candidates) {
+		return nil, fmt.Errorf("nsga: evaluator returned %d vectors for %d candidates", len(objs), len(candidates))
+	}
+	if err := validateObjectives(objs); err != nil {
+		return nil, err
+	}
+	inds := make([]Individual[T], len(candidates))
+	for i := range candidates {
+		inds[i] = Individual[T]{Payload: candidates[i], Objectives: objs[i], Generation: gen}
+	}
+	res.Evaluated = append(res.Evaluated, inds...)
+	return inds, nil
+}
+
+// assignRankAndCrowding fills in Rank and Crowding for a population.
+func assignRankAndCrowding[T any](pop []Individual[T]) {
+	objs := make([][]float64, len(pop))
+	for i := range pop {
+		objs[i] = pop[i].Objectives
+	}
+	for rank, front := range FastNonDominatedSort(objs) {
+		dist := CrowdingDistance(objs, front)
+		for _, i := range front {
+			pop[i].Rank = rank
+			pop[i].Crowding = dist[i]
+		}
+	}
+}
+
+// tournament runs a binary tournament: lower rank wins; ties break on
+// larger crowding distance; remaining ties go to the first pick.
+func tournament[T any](rng *rand.Rand, pop []Individual[T]) Individual[T] {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if b.Rank < a.Rank || (b.Rank == a.Rank && b.Crowding > a.Crowding) {
+		return b
+	}
+	return a
+}
+
+// environmentalSelection keeps the n best of the combined population by
+// (front, crowding distance), the elitist NSGA-II survivor selection.
+func environmentalSelection[T any](combined []Individual[T], n int) []Individual[T] {
+	assignRankAndCrowding(combined)
+	objs := make([][]float64, len(combined))
+	for i := range combined {
+		objs[i] = combined[i].Objectives
+	}
+	var out []Individual[T]
+	for _, front := range FastNonDominatedSort(objs) {
+		if len(out)+len(front) <= n {
+			for _, i := range front {
+				out = append(out, combined[i])
+			}
+			continue
+		}
+		// Partial front: take the most crowded-out (largest distance) first.
+		dist := CrowdingDistance(objs, front)
+		sorted := append([]int(nil), front...)
+		sort.Slice(sorted, func(a, b int) bool {
+			da, db := dist[sorted[a]], dist[sorted[b]]
+			if math.IsInf(da, 1) && math.IsInf(db, 1) {
+				return sorted[a] < sorted[b]
+			}
+			return da > db
+		})
+		for _, i := range sorted[:n-len(out)] {
+			out = append(out, combined[i])
+		}
+		break
+	}
+	return out
+}

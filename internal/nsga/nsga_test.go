@@ -1,0 +1,353 @@
+package nsga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false},
+		{[]float64{1, 1}, []float64{1, 2}, true},
+		{[]float64{1}, []float64{1, 2}, false}, // mismatched lengths
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFastNonDominatedSortKnown(t *testing.T) {
+	objs := [][]float64{
+		{1, 5}, // front 0
+		{2, 3}, // front 0
+		{4, 1}, // front 0
+		{3, 4}, // front 1 (dominated by {2,3})
+		{5, 5}, // front 2 (dominated by {3,4} and others)
+	}
+	fronts := FastNonDominatedSort(objs)
+	if len(fronts) != 3 {
+		t.Fatalf("got %d fronts: %v", len(fronts), fronts)
+	}
+	if len(fronts[0]) != 3 || len(fronts[1]) != 1 || fronts[1][0] != 3 || fronts[2][0] != 4 {
+		t.Fatalf("fronts = %v", fronts)
+	}
+}
+
+// Property: front assignment is sound — nothing in front k is dominated
+// by anything in front k or later, and every member of front k>0 is
+// dominated by someone in front k−1.
+func TestFrontsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		objs := make([][]float64, n)
+		for i := range objs {
+			objs[i] = []float64{math.Round(rng.Float64() * 10), math.Round(rng.Float64() * 10)}
+		}
+		fronts := FastNonDominatedSort(objs)
+		covered := 0
+		for k, front := range fronts {
+			covered += len(front)
+			for _, i := range front {
+				for kk := k; kk < len(fronts); kk++ {
+					for _, j := range fronts[kk] {
+						if Dominates(objs[j], objs[i]) {
+							return false
+						}
+					}
+				}
+				if k > 0 {
+					dominated := false
+					for _, j := range fronts[k-1] {
+						if Dominates(objs[j], objs[i]) {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						return false
+					}
+				}
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	objs := [][]float64{{1, 5}, {2, 3}, {4, 1}}
+	d := CrowdingDistance(objs, []int{0, 1, 2})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[2], 1) {
+		t.Fatalf("boundary distances must be +Inf: %v", d)
+	}
+	if math.IsInf(d[1], 1) || d[1] <= 0 {
+		t.Fatalf("interior distance = %v", d[1])
+	}
+	// Degenerate front: identical objectives → zero spans handled.
+	same := [][]float64{{1, 1}, {1, 1}}
+	ds := CrowdingDistance(same, []int{0, 1})
+	for _, v := range ds {
+		if math.IsNaN(v) {
+			t.Fatal("NaN crowding on degenerate front")
+		}
+	}
+	if len(CrowdingDistance(objs, nil)) != 0 {
+		t.Fatal("empty front must give empty map")
+	}
+}
+
+func TestParetoFrontSorted(t *testing.T) {
+	objs := [][]float64{{4, 1}, {1, 5}, {3, 4}, {2, 3}}
+	front := ParetoFront(objs)
+	want := []int{1, 3, 0} // sorted by first objective: (1,5), (2,3), (4,1)
+	if len(front) != len(want) {
+		t.Fatalf("front = %v", front)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v, want %v", front, want)
+		}
+	}
+	if ParetoFront(nil) != nil {
+		t.Fatal("empty input must give nil")
+	}
+}
+
+// intOps evolves integers toward the two-objective problem
+// minimise (x², (x−10)²) whose Pareto set is 0..10.
+type intOps struct{}
+
+func (intOps) Random(rng *rand.Rand) (int, error) { return rng.Intn(201) - 100, nil }
+func (intOps) Crossover(rng *rand.Rand, a, b int) (int, error) {
+	if rng.Intn(2) == 0 {
+		return a, nil
+	}
+	return b, nil
+}
+func (intOps) Mutate(rng *rand.Rand, x int) (int, error) { return x + rng.Intn(7) - 3, nil }
+
+func intEval(gen int, xs []int) ([][]float64, error) {
+	objs := make([][]float64, len(xs))
+	for i, x := range xs {
+		fx := float64(x)
+		objs[i] = []float64{fx * fx, (fx - 10) * (fx - 10)}
+	}
+	return objs, nil
+}
+
+func TestRunConvergesToParetoSet(t *testing.T) {
+	cfg := Config{PopulationSize: 20, Offspring: 20, Generations: 30, Seed: 5}
+	res, err := Run[int](cfg, intOps{}, EvaluatorFunc[int](intEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Population) != 20 {
+		t.Fatalf("final population %d", len(res.Population))
+	}
+	inSet := 0
+	for _, ind := range res.Population {
+		if ind.Payload >= 0 && ind.Payload <= 10 {
+			inSet++
+		}
+	}
+	if inSet < 15 {
+		t.Fatalf("only %d/20 individuals in the Pareto set [0,10]", inSet)
+	}
+	wantEvals := 20 + 20*29
+	if len(res.Evaluated) != wantEvals {
+		t.Fatalf("evaluated %d individuals, want %d", len(res.Evaluated), wantEvals)
+	}
+}
+
+func TestRunEvaluationCountMatchesPaper(t *testing.T) {
+	// Table 2: pop 10, offspring 10, 10 generations → 100 networks/test.
+	cfg := DefaultConfig()
+	res, err := Run[int](cfg, intOps{}, EvaluatorFunc[int](intEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluated) != 100 {
+		t.Fatalf("evaluated %d networks, want 100", len(res.Evaluated))
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cfg := Config{PopulationSize: 8, Offspring: 8, Generations: 5, Seed: 42}
+	r1, err := Run[int](cfg, intOps{}, EvaluatorFunc[int](intEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run[int](cfg, intOps{}, EvaluatorFunc[int](intEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Evaluated {
+		if r1.Evaluated[i].Payload != r2.Evaluated[i].Payload {
+			t.Fatal("runs with identical seeds diverged")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := Config{PopulationSize: 1, Offspring: 1, Generations: 1}
+	if _, err := Run[int](bad, intOps{}, EvaluatorFunc[int](intEval)); err == nil {
+		t.Fatal("population < 2 must fail")
+	}
+	if _, err := Run[int](DefaultConfig(), nil, EvaluatorFunc[int](intEval)); err == nil {
+		t.Fatal("nil operators must fail")
+	}
+	if err := (Config{PopulationSize: 5, Offspring: 0, Generations: 1}).Validate(); err == nil {
+		t.Fatal("offspring=0 must fail")
+	}
+	if err := (Config{PopulationSize: 5, Offspring: 5, Generations: 0}).Validate(); err == nil {
+		t.Fatal("generations=0 must fail")
+	}
+}
+
+func TestRunRejectsBadEvaluator(t *testing.T) {
+	wrongCount := EvaluatorFunc[int](func(gen int, xs []int) ([][]float64, error) {
+		return [][]float64{{1, 1}}, nil
+	})
+	if _, err := Run[int](DefaultConfig(), intOps{}, wrongCount); err == nil {
+		t.Fatal("short objective list must fail")
+	}
+	nanEval := EvaluatorFunc[int](func(gen int, xs []int) ([][]float64, error) {
+		objs := make([][]float64, len(xs))
+		for i := range objs {
+			objs[i] = []float64{math.NaN(), 1}
+		}
+		return objs, nil
+	})
+	if _, err := Run[int](DefaultConfig(), intOps{}, nanEval); err == nil {
+		t.Fatal("NaN objectives must fail")
+	}
+	failing := EvaluatorFunc[int](func(gen int, xs []int) ([][]float64, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if _, err := Run[int](DefaultConfig(), intOps{}, failing); err == nil {
+		t.Fatal("evaluator errors must propagate")
+	}
+}
+
+func TestEnvironmentalSelectionElitism(t *testing.T) {
+	// The single best individual must always survive selection.
+	pop := []Individual[int]{
+		{Payload: 0, Objectives: []float64{0, 0}}, // dominates everything
+		{Payload: 1, Objectives: []float64{5, 5}},
+		{Payload: 2, Objectives: []float64{6, 4}},
+		{Payload: 3, Objectives: []float64{4, 6}},
+		{Payload: 4, Objectives: []float64{9, 9}},
+	}
+	out := environmentalSelection(pop, 2)
+	if len(out) != 2 {
+		t.Fatalf("selected %d", len(out))
+	}
+	found := false
+	for _, ind := range out {
+		if ind.Payload == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("elitism violated: best individual dropped")
+	}
+}
+
+func TestValidateObjectives(t *testing.T) {
+	if err := validateObjectives(nil); err == nil {
+		t.Fatal("empty must fail")
+	}
+	if err := validateObjectives([][]float64{{}}); err == nil {
+		t.Fatal("zero-dim must fail")
+	}
+	if err := validateObjectives([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged must fail")
+	}
+	if err := validateObjectives([][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypervolume2DKnown(t *testing.T) {
+	ref := [2]float64{10, 10}
+	// Single point.
+	hv, err := Hypervolume2D([][]float64{{1, 5}}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv != 45 { // (10-1)×(10-5)
+		t.Fatalf("hv = %v, want 45", hv)
+	}
+	// Two non-dominated points: 45 + 16.
+	hv, err = Hypervolume2D([][]float64{{1, 5}, {2, 3}}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv != 61 {
+		t.Fatalf("hv = %v, want 61", hv)
+	}
+	// Dominated point adds nothing.
+	hv2, err := Hypervolume2D([][]float64{{1, 5}, {2, 3}, {3, 6}}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv2 != 61 {
+		t.Fatalf("dominated point changed hv: %v", hv2)
+	}
+	// Points outside the reference box are ignored.
+	hv3, err := Hypervolume2D([][]float64{{11, 1}, {1, 11}}, ref)
+	if err != nil || hv3 != 0 {
+		t.Fatalf("out-of-box hv = %v, %v", hv3, err)
+	}
+	if _, err := Hypervolume2D([][]float64{{1, 2, 3}}, ref); err == nil {
+		t.Fatal("3-objective point must fail")
+	}
+	if hv, _ := Hypervolume2D(nil, ref); hv != 0 {
+		t.Fatal("empty set must have hv 0")
+	}
+}
+
+// Property: adding a point never decreases the hypervolume, and any
+// point's individual box is a lower bound.
+func TestHypervolumeMonotonicity(t *testing.T) {
+	ref := [2]float64{100, 100}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 90, rng.Float64() * 90}
+		}
+		hv, err := Hypervolume2D(pts, ref)
+		if err != nil {
+			return false
+		}
+		extra := []float64{rng.Float64() * 90, rng.Float64() * 90}
+		hv2, err := Hypervolume2D(append(pts, extra), ref)
+		if err != nil {
+			return false
+		}
+		if hv2 < hv-1e-9 {
+			return false
+		}
+		// Any single point's box bounds the total from below.
+		box := (ref[0] - pts[0][0]) * (ref[1] - pts[0][1])
+		return hv >= box-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

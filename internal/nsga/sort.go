@@ -1,0 +1,143 @@
+// Package nsga implements the NSGA-II multi-objective evolutionary
+// algorithm (Deb et al.) that powers NSGA-Net: fast non-dominated
+// sorting, crowding distance, binary tournament selection, and elitist
+// environmental selection. The paper's NAS minimises two objectives —
+// (100 − validation accuracy) and FLOPs — but the engine is generic over
+// both the payload type and the number of objectives.
+//
+// The evaluator is handed one whole generation at a time, which is the
+// hook A4NN uses: its evaluator trains candidates across the simulated
+// accelerators with the prediction engine attached, while the standalone
+// baseline trains every candidate for the full epoch budget.
+package nsga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dominates reports whether objective vector a Pareto-dominates b: a is
+// no worse in every objective and strictly better in at least one. All
+// objectives are minimised.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// FastNonDominatedSort partitions indices 0..len(objs)-1 into Pareto
+// fronts: fronts[0] is the non-dominated set, fronts[1] the set dominated
+// only by fronts[0], and so on.
+func FastNonDominatedSort(objs [][]float64) [][]int {
+	n := len(objs)
+	dominated := make([][]int, n) // dominated[i] = indices i dominates
+	count := make([]int, n)       // count[i] = how many dominate i
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(objs[i], objs[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if Dominates(objs[j], objs[i]) {
+				count[i]++
+			}
+		}
+		if count[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				count[j]--
+				if count[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// CrowdingDistance computes the crowding distance of each member of a
+// front (indices into objs). Boundary solutions get +Inf so they are
+// always preferred, preserving objective-space spread.
+func CrowdingDistance(objs [][]float64, front []int) map[int]float64 {
+	dist := make(map[int]float64, len(front))
+	for _, i := range front {
+		dist[i] = 0
+	}
+	if len(front) == 0 {
+		return dist
+	}
+	m := len(objs[front[0]])
+	idx := append([]int(nil), front...)
+	for obj := 0; obj < m; obj++ {
+		sort.Slice(idx, func(a, b int) bool { return objs[idx[a]][obj] < objs[idx[b]][obj] })
+		lo, hi := objs[idx[0]][obj], objs[idx[len(idx)-1]][obj]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[len(idx)-1]] = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < len(idx)-1; k++ {
+			dist[idx[k]] += (objs[idx[k+1]][obj] - objs[idx[k-1]][obj]) / span
+		}
+	}
+	return dist
+}
+
+// ParetoFront returns the indices of the non-dominated members of objs,
+// sorted by the first objective. It is what the analyzer uses to draw the
+// accuracy-vs-FLOPs frontiers of Figure 6.
+func ParetoFront(objs [][]float64) []int {
+	fronts := FastNonDominatedSort(objs)
+	if len(fronts) == 0 {
+		return nil
+	}
+	front := append([]int(nil), fronts[0]...)
+	sort.Slice(front, func(a, b int) bool { return objs[front[a]][0] < objs[front[b]][0] })
+	return front
+}
+
+// validateObjectives checks that every vector has the same non-zero
+// dimensionality and finite values.
+func validateObjectives(objs [][]float64) error {
+	if len(objs) == 0 {
+		return fmt.Errorf("nsga: no objective vectors")
+	}
+	m := len(objs[0])
+	if m == 0 {
+		return fmt.Errorf("nsga: empty objective vector")
+	}
+	for i, o := range objs {
+		if len(o) != m {
+			return fmt.Errorf("nsga: objective vector %d has %d entries, want %d", i, len(o), m)
+		}
+		for j, v := range o {
+			if math.IsNaN(v) {
+				return fmt.Errorf("nsga: objective %d of vector %d is NaN", j, i)
+			}
+		}
+	}
+	return nil
+}

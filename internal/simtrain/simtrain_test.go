@@ -1,0 +1,341 @@
+package simtrain
+
+import (
+	"math/rand"
+	"testing"
+
+	"a4nn/internal/core"
+	"a4nn/internal/dataset"
+	"a4nn/internal/genome"
+	"a4nn/internal/predict"
+	"a4nn/internal/sched"
+	"a4nn/internal/xfel"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, beam := range xfel.AllBeams {
+		if err := ProfileFor(beam).Validate(); err != nil {
+			t.Fatalf("%s profile: %v", beam, err)
+		}
+	}
+}
+
+func TestProfileValidationRejectsBad(t *testing.T) {
+	base := ProfileFor(xfel.MediumBeam)
+	cases := []struct {
+		name string
+		mut  func(*BeamProfile)
+	}{
+		{"asymptote", func(p *BeamProfile) { p.AsymptoteMax = p.AsymptoteMin - 1 }},
+		{"start", func(p *BeamProfile) { p.StartMax = p.AsymptoteMin + 1 }},
+		{"rate", func(p *BeamProfile) { p.RateMin = 0 }},
+		{"noise", func(p *BeamProfile) { p.Noise = -1 }},
+		{"failure", func(p *BeamProfile) { p.FailureRate = 2 }},
+		{"hard rise", func(p *BeamProfile) { p.HardRiseMin = 0 }},
+		{"hard target", func(p *BeamProfile) { p.HardTargetMax = 1 }},
+	}
+	for _, tc := range cases {
+		p := base
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(BeamProfile{}, genome.DefaultDecodeConfig(), 0); err == nil {
+		t.Fatal("empty profile must fail")
+	}
+	if _, err := New(ProfileFor(xfel.LowBeam), genome.DefaultDecodeConfig(), -1); err == nil {
+		t.Fatal("negative samples must fail")
+	}
+	tr, err := New(ProfileFor(xfel.LowBeam), genome.DefaultDecodeConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TrainSamples() != PaperTrainSamples {
+		t.Fatalf("default samples %d", tr.TrainSamples())
+	}
+}
+
+func TestNewModelDeterministic(t *testing.T) {
+	tr, err := ForBeam(xfel.MediumBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := genome.NewRandom(rand.New(rand.NewSource(1)), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := tr.NewModel(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := tr.NewModel(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		a, err := m1.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m2.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ValAccuracy != b.ValAccuracy {
+			t.Fatalf("epoch %d diverged: %v vs %v", e+1, a.ValAccuracy, b.ValAccuracy)
+		}
+	}
+	// Different seed → different curve.
+	m3, err := tr.NewModel(g, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	m4, _ := tr.NewModel(g, 42)
+	for e := 0; e < 10; e++ {
+		a, _ := m3.TrainEpoch()
+		b, _ := m4.TrainEpoch()
+		if a.ValAccuracy != b.ValAccuracy {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must yield different curves")
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	tr, err := ForBeam(xfel.HighBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := genome.Parse("1111111|1111111|1111111", 4)
+	m, err := tr.NewModel(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FLOPs() <= 0 || m.NumParams() <= 0 || m.Describe() == "" {
+		t.Fatalf("metadata missing: flops=%d params=%d", m.FLOPs(), m.NumParams())
+	}
+	// Paper-scale FLOPs land in the hundreds of MFLOPs.
+	mflops := float64(m.FLOPs()) / 1e6
+	if mflops < 50 || mflops > 5000 {
+		t.Fatalf("dense genome MFLOPs %v outside paper-scale range", mflops)
+	}
+	state, err := m.SaveState()
+	if err != nil || len(state) == 0 {
+		t.Fatalf("SaveState: %v", err)
+	}
+}
+
+func TestCurvesStayInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, beam := range xfel.AllBeams {
+		tr, err := ForBeam(beam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			g, _ := genome.NewRandom(rng, 3, 4)
+			m, err := tr.NewModel(g, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := -1.0
+			for e := 0; e < 25; e++ {
+				met, err := m.TrainEpoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if met.ValAccuracy < 0 || met.ValAccuracy > 100 {
+					t.Fatalf("%s model %d epoch %d: accuracy %v", beam, i, e+1, met.ValAccuracy)
+				}
+				if met.TrainAccuracy < 0 || met.TrainAccuracy > 100 {
+					t.Fatalf("train accuracy %v out of bounds", met.TrainAccuracy)
+				}
+				if met.TrainLoss <= 0 {
+					t.Fatalf("loss %v not positive", met.TrainLoss)
+				}
+				prev = met.ValAccuracy
+			}
+			_ = prev
+		}
+	}
+}
+
+// trainCohort runs n surrogate models under the prediction engine and
+// returns (terminated fraction, mean e_t, epoch-saved fraction).
+func trainCohort(t *testing.T, beam xfel.BeamIntensity, n int) (termFrac, meanEt, savedFrac float64) {
+	t.Helper()
+	eng, err := predict.NewEngine(predict.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ForBeam(beam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	term, sumEt, totalEpochs := 0, 0, 0
+	for i := 0; i < n; i++ {
+		g, _ := genome.NewRandom(rng, 3, 4)
+		m, err := tr.NewModel(g, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		orch := &core.Orchestrator{Engine: eng, MaxEpochs: 25}
+		out, err := orch.TrainModel(m, sched.Device{Throughput: 1e12}, 100, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalEpochs += out.EpochsTrained
+		if out.Terminated {
+			term++
+			sumEt += out.EpochsTrained
+		}
+	}
+	termFrac = float64(term) / float64(n)
+	if term > 0 {
+		meanEt = float64(sumEt) / float64(term)
+	}
+	savedFrac = 1 - float64(totalEpochs)/float64(n*25)
+	return termFrac, meanEt, savedFrac
+}
+
+// TestCalibrationShapes verifies the Figure 7/8 shape constraints the
+// profiles were calibrated to (with generous tolerances: these are
+// stochastic cohorts of 150 models).
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cohort calibration in -short mode")
+	}
+	lowTerm, lowEt, lowSaved := trainCohort(t, xfel.LowBeam, 150)
+	medTerm, medEt, medSaved := trainCohort(t, xfel.MediumBeam, 150)
+	highTerm, highEt, highSaved := trainCohort(t, xfel.HighBeam, 150)
+
+	// Figure 7: medium saves the most epochs, low the least.
+	if !(medSaved > highSaved && highSaved > lowSaved) {
+		t.Errorf("epoch savings ordering violated: low=%.2f med=%.2f high=%.2f", lowSaved, medSaved, highSaved)
+	}
+	if lowSaved < 0.05 || lowSaved > 0.35 {
+		t.Errorf("low savings %.2f outside band", lowSaved)
+	}
+	if medSaved < 0.25 || medSaved > 0.50 {
+		t.Errorf("medium savings %.2f outside band", medSaved)
+	}
+	// Figure 8: low converges latest; medium terminated fraction highest;
+	// high terminates earliest.
+	if !(lowEt > medEt && lowEt > highEt) {
+		t.Errorf("e_t ordering violated: low=%.1f med=%.1f high=%.1f", lowEt, medEt, highEt)
+	}
+	if medTerm < 0.6 {
+		t.Errorf("medium terminated fraction %.2f too small", medTerm)
+	}
+	if lowTerm < 0.4 || highTerm < 0.4 {
+		t.Errorf("terminated fractions low=%.2f high=%.2f too small", lowTerm, highTerm)
+	}
+	if medEt > 14 {
+		t.Errorf("medium mean e_t %.1f too late", medEt)
+	}
+}
+
+func TestNewModelRejectsBadGenome(t *testing.T) {
+	tr, err := ForBeam(xfel.LowBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &genome.Genome{NodesPerPhase: 4, Phases: [][]byte{{9}}}
+	if _, err := tr.NewModel(bad, 1); err == nil {
+		t.Fatal("invalid genome must fail")
+	}
+}
+
+// TestSurrogateMatchesRealTrainerQualitatively backs DESIGN.md's claim
+// that the surrogate is calibrated against the real trainer: a genuinely
+// trained network's learning curve must look like the surrogate's
+// curves — rising from near-chance toward a plateau, within fitness
+// bounds — and drive the prediction engine through the same code path.
+func TestSurrogateMatchesRealTrainerQualitatively(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training in -short mode")
+	}
+	params := xfel.DefaultSimulatorParams()
+	params.Size = 16
+	sim, err := xfel.NewSimulator(3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := sim.GenerateBatch(1, 160, xfel.HighBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromPatterns(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err := ds.Split(0.8, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := core.NewRealTrainer(train, val, core.RealTrainerConfig{
+		Decode: genome.DecodeConfig{InShape: []int{1, 16, 16}, Widths: []int{4, 8, 8}, NumClasses: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := genome.Parse("1010001|1100111|1000000", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := real.NewModel(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve []float64
+	for e := 0; e < 12; e++ {
+		m, err := model.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ValAccuracy < 0 || m.ValAccuracy > 100 {
+			t.Fatalf("real accuracy %v out of bounds", m.ValAccuracy)
+		}
+		curve = append(curve, m.ValAccuracy)
+	}
+	// Rising, noisy curve that clearly beats chance — the same
+	// qualitative family (trend + wander) the surrogate draws from.
+	tail := (curve[9] + curve[10] + curve[11]) / 3
+	best := 0.0
+	for _, v := range curve {
+		if v > best {
+			best = v
+		}
+	}
+	if tail < curve[0]+5 {
+		t.Fatalf("real curve not rising: %v", curve)
+	}
+	if best < 70 {
+		t.Fatalf("real curve best %v too low: %v", best, curve)
+	}
+	// The same engine consumes both: feed the real curve to the engine
+	// with e_pred at the end of this budget.
+	cfg := predict.DefaultConfig()
+	cfg.EPred = 12
+	eng, err := predict.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := predict.NewTracker(eng)
+	for _, v := range curve {
+		if tr.Observe(v) {
+			break
+		}
+	}
+	if f, ok := tr.FinalFitness(); !ok || f < 0 || f > 100 {
+		t.Fatalf("engine on real curve produced %v, %v", f, ok)
+	}
+}

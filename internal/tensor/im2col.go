@@ -1,0 +1,122 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution over an
+// input of size in with the given kernel size, stride, and symmetric
+// padding. It returns an error when the geometry is invalid.
+func ConvOutSize(in, kernel, stride, pad int) (int, error) {
+	if stride <= 0 {
+		return 0, fmt.Errorf("tensor: stride must be positive, got %d", stride)
+	}
+	if kernel <= 0 {
+		return 0, fmt.Errorf("tensor: kernel must be positive, got %d", kernel)
+	}
+	if pad < 0 {
+		return 0, fmt.Errorf("tensor: pad must be non-negative, got %d", pad)
+	}
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		return 0, fmt.Errorf("tensor: convolution output size %d for in=%d kernel=%d stride=%d pad=%d", out, in, kernel, stride, pad)
+	}
+	return out, nil
+}
+
+// Im2Col unrolls a single image x with shape (C, H, W) into a matrix of
+// shape (C·kh·kw, oh·ow) so that convolution becomes a matrix product of
+// the (F, C·kh·kw) filter matrix with the column matrix. Out-of-bounds
+// (padded) positions contribute zeros.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: Im2Col requires rank-3 input (C,H,W), got %v", x.shape)
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, err := ConvOutSize(h, kh, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := ConvOutSize(w, kw, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	cols := New(c*kh*kw, oh*ow)
+	im2colInto(x.data, cols.data, c, h, w, kh, kw, stride, pad, oh, ow)
+	return cols, nil
+}
+
+func im2colInto(x, cols []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		img := x[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := cols[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							row[idx] = 0
+						} else {
+							row[idx] = img[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix produced by Im2Col back into an image of
+// shape (C, H, W), accumulating overlapping contributions. It is the adjoint
+// of Im2Col and is used in the convolution backward pass.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
+	oh, err := ConvOutSize(h, kh, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	ow, err := ConvOutSize(w, kw, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	if cols.Rank() != 2 || cols.shape[0] != c*kh*kw || cols.shape[1] != oh*ow {
+		return nil, fmt.Errorf("tensor: Col2Im expects cols of shape (%d,%d), got %v", c*kh*kw, oh*ow, cols.shape)
+	}
+	img := New(c, h, w)
+	ncols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		out := img.data[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := cols.data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						idx += ow
+						continue
+					}
+					base := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							out[base+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return img, nil
+}

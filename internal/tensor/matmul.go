@@ -1,0 +1,148 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes the matrix product a·b for rank-2 tensors, parallelising
+// over rows of a. Shapes must be (m×k)·(k×n); the result is m×n.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul requires rank-2 tensors, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dimension mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := New(m, n)
+	matmulInto(a.data, b.data, out.data, m, k, n)
+	return out, nil
+}
+
+// MustMatMul is MatMul but panics on error.
+func MustMatMul(a, b *Tensor) *Tensor {
+	t, err := MatMul(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MatMulTransA computes aᵀ·b where a is (k×m) and b is (k×n), yielding m×n.
+// It avoids materialising the transpose.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA requires rank-2 tensors, got %v and %v", a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA inner dimension mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := od[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					row[j] += av * bv
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// MatMulTransB computes a·bᵀ where a is (m×k) and b is (n×k), yielding m×n.
+// It avoids materialising the transpose.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB requires rank-2 tensors, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB inner dimension mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out, nil
+}
+
+// matmulInto computes c = a·b with a (m×k), b (k×n), c (m×n) pre-zeroed,
+// parallelised over row blocks of a. The inner loop is ordered i-p-j so b
+// is streamed row-wise (cache friendly) and the compiler can keep c's row
+// hot.
+func matmulInto(a, b, c []float64, m, k, n int) {
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c[i*n : (i+1)*n]
+			arow := a[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(a *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Transpose2D requires rank 2, got %v", a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// MatVec computes the matrix-vector product a·x for a (m×n) and x (n),
+// yielding a length-m vector.
+func MatVec(a, x *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("tensor: MatVec requires (2,1) ranks, got %v and %v", a.shape, x.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	if x.shape[0] != n {
+		return nil, fmt.Errorf("tensor: MatVec dimension mismatch %v vs %v", a.shape, x.shape)
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		out.data[i] = s
+	}
+	return out, nil
+}

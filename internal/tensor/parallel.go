@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the goroutine pool used by parallel kernels. It is a
+// variable (not a constant) so tests can exercise single-threaded paths.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the number of goroutines used by parallel
+// kernels. Values below 1 are clamped to 1. It returns the previous value.
+// It is intended for tests and benchmarks and is not safe to call
+// concurrently with running kernels.
+func SetMaxWorkers(n int) int {
+	old := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return old
+}
+
+// parallelFor runs body(lo, hi) over [0, n) split into roughly equal chunks
+// across the worker pool. For small n it runs inline to avoid goroutine
+// overhead.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	// Heuristic: below this many items the goroutine fan-out costs more
+	// than it saves.
+	const minParallel = 256
+	if workers <= 1 || n < minParallel {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,163 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/lineage"
+)
+
+func testStore(t *testing.T) *commons.Store {
+	t.Helper()
+	store, err := commons.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*lineage.Record{
+		{ID: "m1", Genome: "1010001|0000000|1111111", NodesPerPhase: 4, Beam: "low",
+			FinalFitness: 92.5, FLOPs: 4.2e8, Terminated: true, TerminationEpoch: 2,
+			Epochs: []lineage.EpochEntry{
+				{Epoch: 1, ValAccuracy: 70, SimSeconds: 5},
+				{Epoch: 2, ValAccuracy: 88, Prediction: 92.5, HasPrediction: true, SimSeconds: 5},
+			}},
+		{ID: "m2", Genome: "0000000|0000000|0000000", NodesPerPhase: 4, Beam: "high",
+			FinalFitness: 99.1, FLOPs: 3.1e8,
+			Epochs: []lineage.EpochEntry{{Epoch: 1, ValAccuracy: 99.1, SimSeconds: 4}}},
+	} {
+		r.CreatedAt = time.Now()
+		if err := store.PutRecord(r); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	return store
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := New(testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestNewNilStore(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil store must fail")
+	}
+}
+
+func TestRecordsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/api/records")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var ids []string
+	if err := json.Unmarshal([]byte(body), &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "m1" {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+func TestRecordEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/api/records/m1")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var rec lineage.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.FinalFitness != 92.5 || len(rec.Epochs) != 2 {
+		t.Fatalf("record %+v", rec)
+	}
+	code, _ = get(t, ts.URL+"/api/records/nope")
+	if code != 404 {
+		t.Fatalf("missing record status %d", code)
+	}
+}
+
+func TestDOTEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/api/records/m1/dot")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "digraph") {
+		t.Fatalf("dot body:\n%s", body)
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/api/summary?beam=low")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var sum commons.Summary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Records != 1 || sum.TerminatedEarly != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestParetoEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/api/pareto")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "m2") {
+		t.Fatalf("pareto body:\n%s", body)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"A4NN data commons", "m1", "m2", "/api/records"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	code, _ = get(t, ts.URL+"/nope")
+	if code != 404 {
+		t.Fatalf("unknown path status %d", code)
+	}
+}

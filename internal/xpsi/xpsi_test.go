@@ -1,0 +1,148 @@
+package xpsi
+
+import (
+	"math/rand"
+	"testing"
+
+	"a4nn/internal/dataset"
+	"a4nn/internal/sched"
+	"a4nn/internal/tensor"
+	"a4nn/internal/xfel"
+)
+
+// xfelSplit builds a small train/test split at the given beam.
+func xfelSplit(t *testing.T, beam xfel.BeamIntensity, n int) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	p := xfel.DefaultSimulatorParams()
+	p.Size = 16
+	sim, err := xfel.NewSimulator(3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := sim.GenerateBatch(11, n, beam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromPatterns(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.8, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}, 1); err == nil {
+		t.Fatal("nil dataset must fail")
+	}
+	x := tensor.New(3, 1, 2, 2)
+	small, err := dataset.New(x, []int{0, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(small, Config{K: 10}, 1); err == nil {
+		t.Fatal("K > n must fail")
+	}
+}
+
+func TestXPSIClassifiesHighBeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	train, test := xfelSplit(t, xfel.HighBeam, 240)
+	p, err := Train(train, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := p.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 80 {
+		t.Fatalf("high-beam XPSI accuracy %v, want ≥80", acc)
+	}
+	if p.TrainFLOPs <= 0 {
+		t.Fatal("training FLOPs not accounted")
+	}
+	if p.SimSeconds(sched.Device{Throughput: 1e12}) <= 0 {
+		t.Fatal("sim seconds must be positive")
+	}
+}
+
+// TestXPSIDegradesWithNoise mirrors Table 3: XPSI's accuracy on low-beam
+// (noisy) data is below its high-beam accuracy.
+func TestXPSIDegradesWithNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	trainH, testH := xfelSplit(t, xfel.HighBeam, 240)
+	trainL, testL := xfelSplit(t, xfel.LowBeam, 240)
+	cfg := DefaultConfig()
+	ph, err := Train(trainH, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Train(trainL, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accH, err := ph.Evaluate(testH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accL, err := pl.Evaluate(testL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accL >= accH {
+		t.Fatalf("low-beam accuracy %v should trail high-beam %v", accL, accH)
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	train, _ := xfelSplit(t, xfel.HighBeam, 40)
+	p, err := Train(train, Config{Epochs: 2, Hidden: 8, K: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(nil); err == nil {
+		t.Fatal("nil query set must fail")
+	}
+	// Mismatched dimensionality.
+	x := tensor.New(2, 1, 4, 4)
+	other, err := dataset.New(x, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Classify(other); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestVoteMajority(t *testing.T) {
+	p := &Pipeline{
+		cfg:      Config{K: 3},
+		features: [][]float64{{0}, {0.1}, {0.2}, {5}, {5.1}},
+		labels:   []int{1, 1, 0, 0, 0},
+	}
+	if got := p.vote([]float64{0.05}); got != 1 {
+		t.Fatalf("vote near cluster 1 = %d", got)
+	}
+	if got := p.vote([]float64{5.05}); got != 0 {
+		t.Fatalf("vote near cluster 0 = %d", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Hidden != 32 || c.Epochs != 30 || c.K != 1 {
+		t.Fatalf("defaults %+v", c)
+	}
+	c = Config{Hidden: 8, K: 1}.withDefaults()
+	if c.Hidden != 8 || c.K != 1 || c.Epochs != 30 {
+		t.Fatalf("overrides %+v", c)
+	}
+}

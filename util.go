@@ -1,0 +1,7 @@
+package a4nn
+
+import "math/rand"
+
+// newRand builds a deterministic source for the package's convenience
+// constructors; library code proper always takes explicit *rand.Rand.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
