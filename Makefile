@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+# ci is the gate for every change: static analysis, a full build, and
+# the test suite under the race detector.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean -testcache

@@ -24,6 +24,8 @@
 package a4nn
 
 import (
+	"context"
+
 	"a4nn/internal/analyzer"
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
@@ -116,6 +118,24 @@ const (
 // each epoch against its throughput.
 type Device = sched.Device
 
+// Fault-tolerance types (resource-manager robustness layer).
+type (
+	// FaultPlan deterministically injects device crashes, transient task
+	// errors, and stragglers into a run (Config.Faults).
+	FaultPlan = sched.FaultPlan
+	// DeviceCrash schedules one explicit device failure in a FaultPlan.
+	DeviceCrash = sched.DeviceCrash
+	// RetryPolicy tunes transient-failure retry (Config.Retry).
+	RetryPolicy = sched.RetryPolicy
+	// TaskCtx describes one dispatch of a task onto a device, for callers
+	// driving a sched pool directly.
+	TaskCtx = sched.TaskCtx
+)
+
+// ParseFaultPlan parses the compact CLI fault specification, e.g.
+// "transient=0.05;crash=1@2;slowdown=0.1;seed=7".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return sched.ParseFaultPlan(spec) }
+
 // DefaultDevice returns a single accelerator with the default (V100-like)
 // effective throughput.
 func DefaultDevice() Device { return Device{ID: 0, Throughput: sched.DefaultThroughput} }
@@ -123,9 +143,18 @@ func DefaultDevice() Device { return Device{ID: 0, Throughput: sched.DefaultThro
 // Run executes a search with the given configuration.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
+// RunCtx is Run with cancellation: when ctx is canceled, in-flight
+// training stops between epochs and the run returns the context error.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) { return core.RunCtx(ctx, cfg) }
+
 // RunMicro executes a search over the micro (cell-based) space — the
 // same workflow applied to NSGA-Net's second encoding.
 func RunMicro(cfg MicroConfig) (*Result, error) { return core.RunMicro(cfg) }
+
+// RunMicroCtx is RunMicro with cancellation, mirroring RunCtx.
+func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
+	return core.RunMicroCtx(ctx, cfg)
+}
 
 // NewRealMicroTrainer returns a trainer that decodes micro cells into
 // CNNs and trains them by SGD on real data.

@@ -6,6 +6,7 @@
 package a4nn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -197,7 +198,7 @@ func ablationCohort(b *testing.B, cfg predict.Config, n int) (saved float64, ter
 			b.Fatal(err)
 		}
 		orch := &core.Orchestrator{Engine: engine, MaxEpochs: 25}
-		out, err := orch.TrainModel(m, sched.Device{Throughput: 1e12}, 100, nil)
+		out, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e12}, 100, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 		}
 		// Train on a single simulated device; the orchestrator runs
 		// Algorithm 1 (train → predict → converged?).
-		outcome, err := orch.TrainModel(model, a4nn.DefaultDevice(), trainer.TrainSamples(), nil)
+		outcome, err := orch.TrainModel(context.Background(), model, a4nn.DefaultDevice(), trainer.TrainSamples(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -102,7 +103,8 @@ func main() {
 		tasks := make([]sched.Task, len(cands))
 		for i, g := range cands {
 			i, g := i, g
-			tasks[i] = func(dev sched.Device) (float64, error) {
+			tasks[i] = func(tc sched.TaskCtx) (float64, error) {
+				dev := tc.Dev
 				rng := rand.New(rand.NewSource(int64(gen*100 + i)))
 				net, err := genome.DecodeMicro(g, decode, rng)
 				if err != nil {
@@ -118,7 +120,7 @@ func main() {
 				}
 				model := &microModel{net: net, opt: opt, train: train, val: val, rng: rng, flops: flops}
 				orch := &a4nn.Orchestrator{Engine: engine, MaxEpochs: maxEpochs}
-				out, err := orch.TrainModel(model, dev, train.Len(), nil)
+				out, err := orch.TrainModel(tc.Ctx, model, dev, train.Len(), nil)
 				if err != nil {
 					return 0, err
 				}
@@ -133,7 +135,7 @@ func main() {
 				return out.SimSeconds, nil
 			}
 		}
-		if _, err := pool.RunGeneration(tasks); err != nil {
+		if _, err := pool.RunGeneration(context.Background(), tasks); err != nil {
 			return nil, err
 		}
 		return objs, nil

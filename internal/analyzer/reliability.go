@@ -1,0 +1,74 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+
+	"a4nn/internal/core"
+)
+
+// Reliability summarises a run's fault-tolerance behaviour alongside the
+// wall-time accounting: how much was retried, how much simulated time the
+// faults cost, and how many devices the search finished without.
+type Reliability struct {
+	// Tasks is the number of scheduled training tasks.
+	Tasks int
+	// Retries counts re-dispatched attempts; Faults counts fault events
+	// (injected errors, crashes, deadline misses, transient failures).
+	Retries, Faults int
+	// DeadDevices counts accelerators lost to crashes during the run.
+	DeadDevices int
+	// LostSeconds is the simulated time wasted on failed attempts;
+	// LostFraction is its share of total device busy time.
+	LostSeconds  float64
+	LostFraction float64
+	// RetriedModels counts evaluated networks whose surviving record came
+	// from a retry (attempt > 1); SlowedModels counts networks trained on
+	// a straggling device.
+	RetriedModels, SlowedModels int
+}
+
+// ReliabilityOf extracts the reliability report of a run.
+func ReliabilityOf(res *core.Result) Reliability {
+	rel := Reliability{
+		Tasks:       res.Totals.Tasks,
+		Retries:     res.Totals.Retries,
+		Faults:      res.Totals.Faults,
+		DeadDevices: res.Totals.DeadDevices,
+		LostSeconds: res.Totals.LostSeconds,
+	}
+	if res.Totals.BusySeconds > 0 {
+		rel.LostFraction = res.Totals.LostSeconds / res.Totals.BusySeconds
+	}
+	for _, m := range res.Models {
+		if m.Record == nil {
+			continue
+		}
+		if m.Record.Attempt > 1 {
+			rel.RetriedModels++
+		}
+		if m.Record.SlowFactor > 1 {
+			rel.SlowedModels++
+		}
+	}
+	return rel
+}
+
+// String renders the report as a one-line summary suitable for CLI output.
+func (r Reliability) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults %d, retries %d", r.Faults, r.Retries)
+	if r.DeadDevices > 0 {
+		fmt.Fprintf(&b, ", devices lost %d", r.DeadDevices)
+	}
+	if r.LostSeconds > 0 {
+		fmt.Fprintf(&b, ", lost %.1f sim-s (%.1f%% of busy)", r.LostSeconds, 100*r.LostFraction)
+	}
+	if r.RetriedModels > 0 {
+		fmt.Fprintf(&b, ", models recovered by retry %d", r.RetriedModels)
+	}
+	if r.SlowedModels > 0 {
+		fmt.Fprintf(&b, ", models on stragglers %d", r.SlowedModels)
+	}
+	return b.String()
+}

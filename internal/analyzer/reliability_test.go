@@ -1,0 +1,68 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"a4nn/internal/core"
+	"a4nn/internal/lineage"
+	"a4nn/internal/sched"
+)
+
+func reliabilityResult() *core.Result {
+	return &core.Result{
+		Models: []*core.ModelResult{
+			{Record: &lineage.Record{ID: "a", Attempt: 1}},
+			{Record: &lineage.Record{ID: "b", Attempt: 3}},
+			{Record: &lineage.Record{ID: "c", Attempt: 2, SlowFactor: 4}},
+			{Record: nil},
+		},
+		Totals: sched.Totals{
+			Tasks:       4,
+			Retries:     3,
+			Faults:      5,
+			DeadDevices: 1,
+			LostSeconds: 50,
+			BusySeconds: 200,
+		},
+	}
+}
+
+func TestReliabilityOf(t *testing.T) {
+	rel := ReliabilityOf(reliabilityResult())
+	if rel.Tasks != 4 || rel.Retries != 3 || rel.Faults != 5 || rel.DeadDevices != 1 {
+		t.Fatalf("totals not carried over: %+v", rel)
+	}
+	if rel.LostSeconds != 50 || rel.LostFraction != 0.25 {
+		t.Fatalf("lost accounting: %+v", rel)
+	}
+	if rel.RetriedModels != 2 {
+		t.Fatalf("retried models %d, want 2", rel.RetriedModels)
+	}
+	if rel.SlowedModels != 1 {
+		t.Fatalf("slowed models %d, want 1", rel.SlowedModels)
+	}
+}
+
+func TestReliabilityOfFaultFree(t *testing.T) {
+	rel := ReliabilityOf(&core.Result{Totals: sched.Totals{Tasks: 9, BusySeconds: 100}})
+	if rel.Faults != 0 || rel.Retries != 0 || rel.LostFraction != 0 {
+		t.Fatalf("clean run should report zeros: %+v", rel)
+	}
+	if got := rel.String(); got != "faults 0, retries 0" {
+		t.Fatalf("clean summary = %q", got)
+	}
+}
+
+func TestReliabilityString(t *testing.T) {
+	s := ReliabilityOf(reliabilityResult()).String()
+	for _, want := range []string{
+		"faults 5", "retries 3", "devices lost 1",
+		"lost 50.0 sim-s (25.0% of busy)",
+		"models recovered by retry 2", "models on stragglers 1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package commons
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +17,12 @@ import (
 
 	"a4nn/internal/lineage"
 )
+
+// ErrCorrupt marks a record that exists on disk but cannot be decoded or
+// validated — a torn write from a crash predating atomic writes, or
+// external tampering. Callers resuming a search treat a corrupt record
+// like a missing one and retrain.
+var ErrCorrupt = errors.New("corrupt record")
 
 // Store is a data commons rooted at a directory. Records live at
 // <root>/records/<id>.json; snapshots at <root>/models/<id>/epoch_<e>.bin.
@@ -49,7 +56,32 @@ func (s *Store) snapshotPath(id string, epoch int) string {
 	return filepath.Join(s.root, "models", id, fmt.Sprintf("epoch_%03d.bin", epoch))
 }
 
-// PutRecord writes (or replaces) a record trail.
+// atomicWrite writes data to path via a temp file in the same directory
+// renamed into place, so a crash mid-write can never leave a torn file.
+func atomicWrite(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// PutRecord writes (or replaces) a record trail. The write is atomic: a
+// kill mid-write leaves either the previous record or the new one, never
+// a torn file that would poison replay/resume.
 func (s *Store) PutRecord(r *lineage.Record) error {
 	data, err := r.MarshalBytes()
 	if err != nil {
@@ -57,19 +89,24 @@ func (s *Store) PutRecord(r *lineage.Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.WriteFile(s.recordPath(r.ID), data, 0o644); err != nil {
+	if err := atomicWrite(s.recordPath(r.ID), data, 0o644); err != nil {
 		return fmt.Errorf("commons: write record %s: %w", r.ID, err)
 	}
 	return nil
 }
 
-// GetRecord loads a record by ID.
+// GetRecord loads a record by ID. A record that exists but cannot be
+// decoded or validated returns an error wrapping ErrCorrupt.
 func (s *Store) GetRecord(id string) (*lineage.Record, error) {
 	data, err := os.ReadFile(s.recordPath(id))
 	if err != nil {
 		return nil, fmt.Errorf("commons: read record %s: %w", id, err)
 	}
-	return lineage.UnmarshalBytes(data)
+	rec, err := lineage.UnmarshalBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("commons: record %s: %w: %w", id, ErrCorrupt, err)
+	}
+	return rec, nil
 }
 
 // PutSnapshot stores the model state after the given (1-based) epoch, the
@@ -85,7 +122,7 @@ func (s *Store) PutSnapshot(id string, epoch int, state []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("commons: create model dir for %s: %w", id, err)
 	}
-	if err := os.WriteFile(s.snapshotPath(id, epoch), state, 0o644); err != nil {
+	if err := atomicWrite(s.snapshotPath(id, epoch), state, 0o644); err != nil {
 		return fmt.Errorf("commons: write snapshot %s@%d: %w", id, epoch, err)
 	}
 	return nil

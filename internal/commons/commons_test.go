@@ -1,9 +1,11 @@
 package commons
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -206,6 +208,79 @@ func TestCorruptedRecordSurfacesError(t *testing.T) {
 	}
 	if _, err := s.GetRecord("bad"); err == nil {
 		t.Fatal("invalid record must fail validation")
+	}
+}
+
+func TestCorruptRecordIsTyped(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), "records", "torn.json")
+	if err := os.WriteFile(path, []byte(`{"id": "to`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.GetRecord("torn")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unparsable record: want ErrCorrupt, got %v", err)
+	}
+	// Decodes but fails validation → also corrupt.
+	if err := os.WriteFile(path, []byte(`{"id":"torn"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRecord("torn"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("invalid record: want ErrCorrupt, got %v", err)
+	}
+	// A missing record is NOT corrupt — resume treats the two the same
+	// way, but callers distinguishing them must be able to.
+	if _, err := s.GetRecord("absent"); errors.Is(err, ErrCorrupt) {
+		t.Fatal("missing record must not be ErrCorrupt")
+	}
+}
+
+func TestAtomicWritesLeaveNoTempFiles(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.PutRecord(record(fmt.Sprintf("r%d", i), "low", 90, 2, false)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutSnapshot(fmt.Sprintf("r%d", i), 1, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites go through the same atomic path.
+	if err := s.PutRecord(record("r0", "low", 95, 3, true)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetRecord("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalFitness != 95 {
+		t.Fatalf("overwrite lost: fitness %v", got.FinalFitness)
+	}
+	var temps []string
+	err = filepath.Walk(s.Root(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && strings.Contains(filepath.Base(path), ".tmp-") {
+			temps = append(temps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) != 0 {
+		t.Fatalf("temp files left behind: %v", temps)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("List sees %d records, want 5 (temp names must not leak in)", len(ids))
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"a4nn/internal/nn"
 	"a4nn/internal/nsga"
 	"a4nn/internal/predict"
+	"a4nn/internal/sched"
 )
 
 // MicroTrainer builds trainable models from micro (cell-based) genomes.
@@ -48,6 +50,11 @@ type MicroConfig struct {
 	SnapshotEpochs bool
 	OnModel        func(*ModelResult)
 	ReplayFrom     *commons.Store
+	// Resume / Faults / Retry / TaskTimeoutSeconds as in Config.
+	Resume             bool
+	Faults             *sched.FaultPlan
+	Retry              sched.RetryPolicy
+	TaskTimeoutSeconds float64
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -75,7 +82,8 @@ func (c MicroConfig) Validate() error {
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
 	}
-	return nil
+	return validateFaultKnobs(c.Resume, c.Store != nil, c.ReplayFrom != nil,
+		c.Faults, c.Retry, c.TaskTimeoutSeconds)
 }
 
 // microOps adapts the micro variation operators to nsga.Operators.
@@ -98,6 +106,11 @@ func (o microOps) Mutate(rng *rand.Rand, g *genome.MicroGenome) (*genome.MicroGe
 
 // RunMicro executes an A4NN search over the micro search space.
 func RunMicro(cfg MicroConfig) (*Result, error) {
+	return RunMicroCtx(context.Background(), cfg)
+}
+
+// RunMicroCtx is RunMicro with cancellation, mirroring RunCtx.
+func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	if cfg.CellNodes == 0 {
 		cfg.CellNodes = 3
 	}
@@ -107,9 +120,26 @@ func RunMicro(cfg MicroConfig) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r, err := newRunner(cfg.Engine, cfg.MaxEpochs, cfg.Devices, cfg.Throughput,
-		cfg.Beam, nilableStore(cfg.Store), nilableStore(cfg.ReplayFrom), cfg.SnapshotEpochs,
-		cfg.OnModel, cfg.Trainer.TrainSamples(), cfg.NAS.Seed)
+	replay := nilableStore(cfg.ReplayFrom)
+	if cfg.Resume {
+		replay = nilableStore(cfg.Store)
+	}
+	r, err := newRunner(runnerParams{
+		engineCfg:   cfg.Engine,
+		maxEpochs:   cfg.MaxEpochs,
+		devices:     cfg.Devices,
+		throughput:  cfg.Throughput,
+		beam:        cfg.Beam,
+		store:       nilableStore(cfg.Store),
+		replay:      replay,
+		snapshots:   cfg.SnapshotEpochs,
+		onModel:     cfg.OnModel,
+		samples:     cfg.Trainer.TrainSamples(),
+		seed:        cfg.NAS.Seed,
+		faults:      cfg.Faults,
+		retry:       cfg.Retry,
+		taskTimeout: cfg.TaskTimeoutSeconds,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +149,7 @@ func RunMicro(cfg MicroConfig) (*Result, error) {
 		for i, g := range cands {
 			infos[i] = archInfo{hash: g.Hash(), encoding: g.String(), micro: g}
 		}
-		return r.evaluateGeneration(gen, infos, func(info archInfo, seed int64) (Trainable, error) {
+		return r.evaluateGeneration(ctx, gen, infos, func(info archInfo, seed int64) (Trainable, error) {
 			return cfg.Trainer.NewModel(info.micro, seed)
 		})
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,23 @@ import (
 // SnapshotSink receives per-epoch model states; the workflow wires it to
 // the data commons. epoch is 1-based.
 type SnapshotSink func(id string, epoch int, state []byte) error
+
+// TrainStepError marks a failure inside a single training epoch — the
+// kind of error (a diverged batch, an OOM on one device) worth retrying
+// on different hardware, as opposed to a bad genome or a broken store.
+type TrainStepError struct {
+	// Epoch is the 1-based epoch that failed.
+	Epoch int
+	// ID is the lineage record ID of the model being trained.
+	ID  string
+	Err error
+}
+
+func (e *TrainStepError) Error() string {
+	return fmt.Sprintf("core: epoch %d of %s: %v", e.Epoch, e.ID, e.Err)
+}
+
+func (e *TrainStepError) Unwrap() error { return e.Err }
 
 // Orchestrator runs Algorithm 1 for one model: train an epoch, feed the
 // fitness history to the prediction engine, append the prediction, ask
@@ -26,6 +44,14 @@ type Orchestrator struct {
 	// Snapshots, when non-nil, receives the model state after every epoch
 	// (paper §2.2.2).
 	Snapshots SnapshotSink
+	// SlowFactor ≥ 1 inflates the simulated per-epoch cost — the
+	// scheduler sets it when fault injection marks the device a
+	// straggler for this generation. 0 means 1 (no slowdown).
+	SlowFactor float64
+	// DeadlineSeconds, when > 0, aborts training with a transient
+	// sched.ErrDeadline once the accumulated simulated cost exceeds it,
+	// so the scheduler can re-dispatch the model to another device.
+	DeadlineSeconds float64
 }
 
 // TrainOutcome summarises one model's training.
@@ -47,17 +73,37 @@ type TrainOutcome struct {
 	InteractionSeconds []float64
 }
 
+// recID names a record in error messages, tolerating the nil record
+// TrainModel accepts.
+func recID(rec *lineage.Record) string {
+	if rec == nil {
+		return "<unrecorded>"
+	}
+	return rec.ID
+}
+
 // TrainModel trains one model under Algorithm 1 on the given device,
 // filling rec (which must have its identity fields set) with the per-epoch
 // record trail. samples is the training-set size for the epoch cost model.
-func (o *Orchestrator) TrainModel(m Trainable, dev sched.Device, samples int, rec *lineage.Record) (*TrainOutcome, error) {
+//
+// ctx is checked between epochs, so cancellation stops in-flight training
+// promptly rather than only between tasks. On a deadline abort the
+// partial outcome is returned alongside the transient error so the
+// scheduler can account for the lost simulated time.
+func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.Device, samples int, rec *lineage.Record) (*TrainOutcome, error) {
 	if o.MaxEpochs < 1 {
 		return nil, fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", o.MaxEpochs)
 	}
 	if m == nil {
 		return nil, fmt.Errorf("core: nil model")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	epochCost := dev.EpochCost(m.FLOPs(), samples)
+	if o.SlowFactor > 1 {
+		epochCost *= o.SlowFactor
+	}
 	var tracker *predict.Tracker
 	if o.Engine != nil {
 		tracker = predict.NewTracker(o.Engine)
@@ -65,13 +111,24 @@ func (o *Orchestrator) TrainModel(m Trainable, dev sched.Device, samples int, re
 	out := &TrainOutcome{}
 	lastVal := 0.0
 	for e := 1; e <= o.MaxEpochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("core: training %s canceled at epoch %d: %w", recID(rec), e, err)
+		}
 		metrics, err := m.TrainEpoch()
 		if err != nil {
-			return nil, fmt.Errorf("core: epoch %d of %s: %w", e, rec.ID, err)
+			return out, &TrainStepError{Epoch: e, ID: recID(rec), Err: err}
 		}
 		out.SimSeconds += epochCost
 		out.EpochsTrained = e
 		lastVal = metrics.ValAccuracy
+		// A straggler past its deadline gives the work back to the
+		// scheduler for re-dispatch instead of dragging the generation
+		// barrier — nothing has been committed to the record store yet.
+		if o.DeadlineSeconds > 0 && out.SimSeconds > o.DeadlineSeconds {
+			return out, sched.Transient("deadline",
+				fmt.Errorf("core: %s at epoch %d: %.1f sim-seconds over %.1f: %w",
+					recID(rec), e, out.SimSeconds, o.DeadlineSeconds, sched.ErrDeadline))
+		}
 		entry := lineage.EpochEntry{
 			Epoch:         e,
 			TrainLoss:     metrics.TrainLoss,
@@ -100,10 +157,10 @@ func (o *Orchestrator) TrainModel(m Trainable, dev sched.Device, samples int, re
 		if o.Snapshots != nil && rec != nil {
 			state, err := m.SaveState()
 			if err != nil {
-				return nil, fmt.Errorf("core: snapshot %s@%d: %w", rec.ID, e, err)
+				return out, fmt.Errorf("core: snapshot %s@%d: %w", rec.ID, e, err)
 			}
 			if err := o.Snapshots(rec.ID, e, state); err != nil {
-				return nil, fmt.Errorf("core: store snapshot %s@%d: %w", rec.ID, e, err)
+				return out, fmt.Errorf("core: store snapshot %s@%d: %w", rec.ID, e, err)
 			}
 		}
 		if converged {

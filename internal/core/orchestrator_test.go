@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -47,7 +48,7 @@ func TestOrchestratorStandaloneTrainsFullBudget(t *testing.T) {
 	m := &scriptedModel{curve: expCurve(90, 0.5, 1, 25), flops: 1e6}
 	orch := &Orchestrator{MaxEpochs: 25}
 	rec := newRecord("m")
-	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 100, rec)
+	out, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 100, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestOrchestratorTerminatesEarlyWithEngine(t *testing.T) {
 	m := &scriptedModel{curve: expCurve(92, 0.5, 1, 25), flops: 1e6}
 	orch := &Orchestrator{Engine: eng, MaxEpochs: 25}
 	rec := newRecord("m")
-	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 100, rec)
+	out, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 100, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestOrchestratorSnapshotsEveryEpoch(t *testing.T) {
 	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 5), flops: 1e6}
 	orch := &Orchestrator{MaxEpochs: 5, Snapshots: sink}
 	rec := newRecord("snap")
-	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, rec); err != nil {
+	if _, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 10, rec); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 5 {
@@ -133,18 +134,18 @@ func TestOrchestratorSnapshotErrorPropagates(t *testing.T) {
 	sink := func(id string, epoch int, state []byte) error { return fmt.Errorf("disk full") }
 	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 5), flops: 1e6}
 	orch := &Orchestrator{MaxEpochs: 5, Snapshots: sink}
-	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
+	if _, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
 		t.Fatal("snapshot error must propagate")
 	}
 }
 
 func TestOrchestratorValidation(t *testing.T) {
 	orch := &Orchestrator{MaxEpochs: 0}
-	if _, err := orch.TrainModel(&scriptedModel{}, sched.Device{}, 1, nil); err == nil {
+	if _, err := orch.TrainModel(context.Background(), &scriptedModel{}, sched.Device{}, 1, nil); err == nil {
 		t.Fatal("MaxEpochs=0 must fail")
 	}
 	orch = &Orchestrator{MaxEpochs: 5}
-	if _, err := orch.TrainModel(nil, sched.Device{}, 1, nil); err == nil {
+	if _, err := orch.TrainModel(context.Background(), nil, sched.Device{}, 1, nil); err == nil {
 		t.Fatal("nil model must fail")
 	}
 }
@@ -152,7 +153,7 @@ func TestOrchestratorValidation(t *testing.T) {
 func TestOrchestratorTrainErrorPropagates(t *testing.T) {
 	m := &scriptedModel{curve: expCurve(90, 0.2, 1, 2), flops: 1e6} // exhausts at epoch 3
 	orch := &Orchestrator{MaxEpochs: 10}
-	if _, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
+	if _, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 10, newRecord("x")); err == nil {
 		t.Fatal("training error must propagate")
 	}
 }
@@ -160,7 +161,7 @@ func TestOrchestratorTrainErrorPropagates(t *testing.T) {
 func TestOrchestratorNilRecordAllowed(t *testing.T) {
 	m := &scriptedModel{curve: expCurve(88, 0.3, 1, 25), flops: 1e6}
 	orch := &Orchestrator{MaxEpochs: 25}
-	out, err := orch.TrainModel(m, sched.Device{Throughput: 1e9}, 10, nil)
+	out, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e9}, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -52,60 +54,103 @@ type storeLike interface {
 	PutSnapshot(id string, epoch int, state []byte) error
 }
 
+// runnerParams bundles the knobs shared by the macro and micro search
+// entry points.
+type runnerParams struct {
+	engineCfg  *predict.Config
+	maxEpochs  int
+	devices    int
+	throughput float64
+	beam       string
+	store      storeLike
+	replay     storeLike
+	snapshots  bool
+	onModel    func(*ModelResult)
+	samples    int
+	seed       int64
+
+	faults      *sched.FaultPlan
+	retry       sched.RetryPolicy
+	taskTimeout float64 // per-attempt simulated deadline (0 = none)
+}
+
 // newRunner validates the shared knobs and assembles the runner.
-func newRunner(engineCfg *predict.Config, maxEpochs, devices int, throughput float64,
-	beam string, store, replay storeLike, snapshots bool,
-	onModel func(*ModelResult), samples int, seed int64) (*runner, error) {
-	if maxEpochs < 1 {
-		return nil, fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", maxEpochs)
+func newRunner(p runnerParams) (*runner, error) {
+	if p.maxEpochs < 1 {
+		return nil, fmt.Errorf("core: MaxEpochs must be ≥ 1, got %d", p.maxEpochs)
 	}
-	if devices < 1 {
-		return nil, fmt.Errorf("core: Devices must be ≥ 1, got %d", devices)
+	if p.devices < 1 {
+		return nil, fmt.Errorf("core: Devices must be ≥ 1, got %d", p.devices)
 	}
-	pool, err := sched.NewPool(devices, throughput)
+	pool, err := sched.NewPool(p.devices, p.throughput)
 	if err != nil {
 		return nil, err
 	}
+	if err := pool.SetFaultPlan(p.faults); err != nil {
+		return nil, err
+	}
+	if err := pool.SetRetryPolicy(p.retry); err != nil {
+		return nil, err
+	}
+	if err := pool.SetTaskDeadline(p.taskTimeout); err != nil {
+		return nil, err
+	}
 	r := &runner{
-		maxEpochs:      maxEpochs,
-		beam:           beam,
-		store:          store,
-		snapshotEpochs: snapshots,
-		onModel:        onModel,
-		replayFrom:     replay,
-		samples:        samples,
-		seed:           seed,
+		maxEpochs:      p.maxEpochs,
+		beam:           p.beam,
+		store:          p.store,
+		snapshotEpochs: p.snapshots,
+		onModel:        p.onModel,
+		replayFrom:     p.replay,
+		samples:        p.samples,
+		seed:           p.seed,
 		pool:           pool,
 		res:            &Result{},
 	}
-	if engineCfg != nil {
-		engine, err := predict.NewEngine(*engineCfg)
+	if p.engineCfg != nil {
+		engine, err := predict.NewEngine(*p.engineCfg)
 		if err != nil {
 			return nil, err
 		}
 		r.engine = engine
 		r.engineParams = &lineage.EngineParams{
-			Family:     engineCfg.Family.Name(),
-			CMin:       engineCfg.CMin,
-			EPred:      engineCfg.EPred,
-			N:          engineCfg.N,
-			R:          engineCfg.R,
-			MinFitness: engineCfg.MinFitness,
-			MaxFitness: engineCfg.MaxFitness,
+			Family:     p.engineCfg.Family.Name(),
+			CMin:       p.engineCfg.CMin,
+			EPred:      p.engineCfg.EPred,
+			N:          p.engineCfg.N,
+			R:          p.engineCfg.R,
+			MinFitness: p.engineCfg.MinFitness,
+			MaxFitness: p.engineCfg.MaxFitness,
 		}
 	}
 	return r, nil
 }
 
+// classifyTaskError decides whether a failed attempt is worth retrying on
+// another device. Failures inside a training step are transient (the
+// paper-scale analogue of a diverged batch or a device OOM); everything
+// else — bad genomes, broken stores, cancellation — is fatal.
+func classifyTaskError(err error) error {
+	if sched.IsTransient(err) {
+		return err // deadline aborts arrive pre-wrapped
+	}
+	var step *TrainStepError
+	if errors.As(err, &step) {
+		return sched.Transient("train step", err)
+	}
+	return err
+}
+
 // evaluateGeneration trains (or replays) one generation of candidates
 // across the pool and returns the NSGA objective vectors.
-func (r *runner) evaluateGeneration(gen int, infos []archInfo,
+func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archInfo,
 	newModel func(info archInfo, seed int64) (Trainable, error)) ([][]float64, error) {
 	tasks := make([]sched.Task, len(infos))
 	results := make([]*ModelResult, len(infos))
 	for i, info := range infos {
 		i, info := i, info
-		tasks[i] = func(dev sched.Device) (float64, error) {
+		tasks[i] = func(tc sched.TaskCtx) (float64, error) {
+			dev := tc.Dev
 			recID := fmt.Sprintf("%s-g%02d-i%02d", info.hash, gen, i)
 			if r.replayFrom != nil {
 				if rec, err := r.replayFrom.GetRecord(recID); err == nil && rec.Genome == info.encoding {
@@ -143,20 +188,36 @@ func (r *runner) evaluateGeneration(gen int, infos []archInfo,
 				FLOPs:         model.FLOPs(),
 				Beam:          r.beam,
 				DeviceID:      dev.ID,
+				Attempt:       tc.Attempt,
 				Engine:        r.engineParams,
 				CreatedAt:     time.Now(),
 			}
-			orch := &Orchestrator{Engine: r.engine, MaxEpochs: r.maxEpochs}
+			if tc.SlowFactor > 1 {
+				rec.SlowFactor = tc.SlowFactor
+			}
+			orch := &Orchestrator{
+				Engine:          r.engine,
+				MaxEpochs:       r.maxEpochs,
+				SlowFactor:      tc.SlowFactor,
+				DeadlineSeconds: tc.DeadlineSeconds,
+			}
 			if r.store != nil && r.snapshotEpochs {
 				orch.Snapshots = r.store.PutSnapshot
 			}
-			outcome, err := orch.TrainModel(model, dev, r.samples, rec)
+			outcome, err := orch.TrainModel(tc.Ctx, model, dev, r.samples, rec)
 			if err != nil {
-				return 0, err
+				// Nothing has been committed for this attempt; report the
+				// partial simulated cost so the scheduler can account for
+				// the lost time, and classify for retry.
+				cost := 0.0
+				if outcome != nil {
+					cost = outcome.SimSeconds
+				}
+				return cost, classifyTaskError(err)
 			}
 			if r.store != nil {
 				if err := r.store.PutRecord(rec); err != nil {
-					return 0, err
+					return outcome.SimSeconds, err
 				}
 			}
 			mr := r.modelResult(info, rec, outcome.FinalFitness)
@@ -176,11 +237,17 @@ func (r *runner) evaluateGeneration(gen int, infos []archInfo,
 			return outcome.SimSeconds, nil
 		}
 	}
-	if _, err := r.pool.RunGeneration(tasks); err != nil {
+	r.mu.Lock()
+	replayedBefore := r.res.Replayed
+	r.mu.Unlock()
+	if _, err := r.pool.RunGeneration(ctx, tasks); err != nil {
 		return nil, err
 	}
 	objs := make([][]float64, len(infos))
 	r.mu.Lock()
+	if r.res.Replayed-replayedBefore == len(infos) {
+		r.res.GenerationsReplayed++
+	}
 	for i, mr := range results {
 		r.res.Models = append(r.res.Models, mr)
 		objs[i] = []float64{100 - mr.Fitness, mr.MFLOPs}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"a4nn/internal/commons"
@@ -52,6 +53,19 @@ type Config struct {
 	// — and lets an interrupted run resume, retraining only the models
 	// whose records are missing.
 	ReplayFrom *commons.Store
+	// Resume replays completed work from Store itself before training
+	// anything new: a killed search rerun with the same configuration
+	// and Resume set continues from its last finished generation.
+	// Requires Store; mutually exclusive with ReplayFrom.
+	Resume bool
+	// Faults, when non-nil, deterministically injects device crashes,
+	// transient task failures, and stragglers into the device pool.
+	Faults *sched.FaultPlan
+	// Retry tunes transient-failure retry (zero value: defaults).
+	Retry sched.RetryPolicy
+	// TaskTimeoutSeconds is the per-attempt simulated deadline; an
+	// attempt exceeding it is re-dispatched to another device (0 = off).
+	TaskTimeoutSeconds float64
 }
 
 // DefaultConfig returns the paper's evaluation setup (Tables 1 and 2) for
@@ -95,6 +109,31 @@ func (c Config) Validate() error {
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
 	}
+	return validateFaultKnobs(c.Resume, c.Store != nil, c.ReplayFrom != nil,
+		c.Faults, c.Retry, c.TaskTimeoutSeconds)
+}
+
+// validateFaultKnobs checks the fault-tolerance configuration shared by
+// the macro and micro workflows.
+func validateFaultKnobs(resume, hasStore, hasReplay bool,
+	faults *sched.FaultPlan, retry sched.RetryPolicy, timeout float64) error {
+	if resume && !hasStore {
+		return fmt.Errorf("core: Resume requires Store")
+	}
+	if resume && hasReplay {
+		return fmt.Errorf("core: Resume and ReplayFrom are mutually exclusive (Resume replays from Store)")
+	}
+	if faults != nil {
+		if err := faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := retry.Validate(); err != nil {
+		return err
+	}
+	if timeout < 0 {
+		return fmt.Errorf("core: negative TaskTimeoutSeconds %v", timeout)
+	}
 	return nil
 }
 
@@ -134,8 +173,12 @@ type Result struct {
 	// TerminatedEarly counts networks stopped by the prediction engine.
 	TerminatedEarly int
 	// Replayed counts networks whose results were reused from
-	// Config.ReplayFrom instead of retrained.
+	// Config.ReplayFrom (or, with Resume, from Store) instead of
+	// retrained.
 	Replayed int
+	// GenerationsReplayed counts generations whose every model was
+	// replayed — the generations a resumed search skipped.
+	GenerationsReplayed int
 	// Overhead aggregates the engine's measured cost.
 	Overhead OverheadStats
 }
@@ -167,15 +210,38 @@ func (r *Result) TerminationEpochs() []int {
 // Algorithm 1 and returns (100−fitness, MFLOPs) to the NAS; lineage
 // records flow to the data commons.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: when ctx is canceled, in-flight
+// training stops between epochs and the run returns the context error.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.MutationRate == 0 {
 		cfg.MutationRate = 1 / float64(cfg.Phases*genome.BitsPerPhase(cfg.NodesPerPhase))
 	}
-	r, err := newRunner(cfg.Engine, cfg.MaxEpochs, cfg.Devices, cfg.Throughput,
-		cfg.Beam, nilableStore(cfg.Store), nilableStore(cfg.ReplayFrom), cfg.SnapshotEpochs,
-		cfg.OnModel, cfg.Trainer.TrainSamples(), cfg.NAS.Seed)
+	replay := nilableStore(cfg.ReplayFrom)
+	if cfg.Resume {
+		replay = nilableStore(cfg.Store)
+	}
+	r, err := newRunner(runnerParams{
+		engineCfg:   cfg.Engine,
+		maxEpochs:   cfg.MaxEpochs,
+		devices:     cfg.Devices,
+		throughput:  cfg.Throughput,
+		beam:        cfg.Beam,
+		store:       nilableStore(cfg.Store),
+		replay:      replay,
+		snapshots:   cfg.SnapshotEpochs,
+		onModel:     cfg.OnModel,
+		samples:     cfg.Trainer.TrainSamples(),
+		seed:        cfg.NAS.Seed,
+		faults:      cfg.Faults,
+		retry:       cfg.Retry,
+		taskTimeout: cfg.TaskTimeoutSeconds,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +251,7 @@ func Run(cfg Config) (*Result, error) {
 		for i, g := range cands {
 			infos[i] = archInfo{hash: g.Hash(), encoding: g.String(), nodesPerPhase: g.NodesPerPhase, macro: g}
 		}
-		return r.evaluateGeneration(gen, infos, func(info archInfo, seed int64) (Trainable, error) {
+		return r.evaluateGeneration(ctx, gen, infos, func(info archInfo, seed int64) (Trainable, error) {
 			return cfg.Trainer.NewModel(info.macro, seed)
 		})
 	})

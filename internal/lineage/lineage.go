@@ -58,6 +58,13 @@ type Record struct {
 	Beam string `json:"beam"`
 	// DeviceID is the accelerator the network trained on.
 	DeviceID int `json:"device_id"`
+	// Attempt is the 1-based dispatch attempt that produced this record;
+	// values above 1 mean earlier attempts were lost to faults and the
+	// scheduler retried the network (possibly on another device).
+	Attempt int `json:"attempt,omitempty"`
+	// SlowFactor, when set (> 1), marks that the device was a straggler
+	// during this training and epoch costs were inflated accordingly.
+	SlowFactor float64 `json:"slow_factor,omitempty"`
 
 	Epochs []EpochEntry `json:"epochs"`
 

@@ -11,9 +11,20 @@
 // computed by the caller from model FLOPs, dataset size, and the device
 // throughput — so that paper-scale wall-clock numbers (tens of hours on a
 // V100) are reproduced deterministically regardless of host speed.
+//
+// The pool is fault-tolerant: an installed FaultPlan injects device
+// crashes, transient task errors, and straggler slowdowns; transient
+// failures are retried under a RetryPolicy (exponential backoff, retry
+// budget, different device when possible); attempts exceeding the task
+// deadline are re-dispatched; and a crashed device is drained, its queued
+// work redistributed FIFO to the survivors. Totals carries the
+// reliability accounting (Retries, Faults, LostSeconds) alongside the
+// wall/busy/idle accounting.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -38,9 +49,34 @@ func (d Device) EpochCost(flopsPerSample int64, samples int) float64 {
 	return float64(flopsPerSample) * float64(samples) * backwardFactor / d.Throughput
 }
 
-// Task is one schedulable training job. It receives the device it runs on
-// and returns its total cost in simulated seconds.
-type Task func(dev Device) (simSeconds float64, err error)
+// TaskCtx describes one dispatch of a task onto a device.
+type TaskCtx struct {
+	// Ctx is the run's cancellation context; tasks should check it
+	// between epochs so cancellation stops in-flight work promptly.
+	Ctx context.Context
+	// Dev is the device the attempt runs on.
+	Dev Device
+	// Generation is the pool's 0-based generation counter.
+	Generation int
+	// Task is the task's index within its generation.
+	Task int
+	// Attempt is 1-based; values above 1 mean earlier attempts failed
+	// and this is a retry (on a different device when possible).
+	Attempt int
+	// SlowFactor ≥ 1 marks the device a straggler for this generation;
+	// cooperative tasks multiply their per-epoch simulated cost by it.
+	SlowFactor float64
+	// DeadlineSeconds is the per-attempt simulated deadline (0 = none).
+	// Cooperative tasks abort with a transient error once their
+	// simulated cost exceeds it, so the pool can re-dispatch the work.
+	DeadlineSeconds float64
+}
+
+// Task is one schedulable training job. It receives its dispatch context
+// and returns its total cost in simulated seconds. A failed attempt
+// returns the simulated seconds it wasted before failing; errors wrapped
+// with Transient are retried, anything else fails the task.
+type Task func(tc TaskCtx) (simSeconds float64, err error)
 
 // Pool is a fixed set of devices plus cumulative accounting across
 // generations.
@@ -53,6 +89,15 @@ type Pool struct {
 	idle      float64 // total simulated idle seconds (barrier waste)
 	tasks     int
 	overheads float64 // simulated seconds of per-task overhead added via AddOverhead
+	retries   int     // re-dispatched attempts across generations
+	faults    int     // fault events (injected, crash, deadline, transient)
+	lost      float64 // simulated seconds wasted on failed attempts
+	nextGen   int     // 0-based RunGeneration call counter
+	dead      []bool  // devices lost to crashes
+
+	plan     *FaultPlan
+	retry    RetryPolicy
+	deadline float64 // per-attempt simulated deadline (0 = none)
 }
 
 // NewPool creates a pool of n identical devices. throughput ≤ 0 selects
@@ -64,7 +109,7 @@ func NewPool(n int, throughput float64) (*Pool, error) {
 	if throughput <= 0 {
 		throughput = DefaultThroughput
 	}
-	p := &Pool{devices: make([]Device, n)}
+	p := &Pool{devices: make([]Device, n), dead: make([]bool, n)}
 	for i := range p.devices {
 		p.devices[i] = Device{ID: i, Throughput: throughput}
 	}
@@ -77,70 +122,488 @@ func (p *Pool) Size() int { return len(p.devices) }
 // Devices returns a copy of the device list.
 func (p *Pool) Devices() []Device { return append([]Device(nil), p.devices...) }
 
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+func (p *Pool) SetFaultPlan(plan *FaultPlan) error {
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plan = plan
+	return nil
+}
+
+// SetRetryPolicy configures transient-failure retry.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) error {
+	if err := rp.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retry = rp
+	return nil
+}
+
+// SetTaskDeadline sets the per-attempt simulated deadline (0 disables).
+func (p *Pool) SetTaskDeadline(simSeconds float64) error {
+	if simSeconds < 0 {
+		return fmt.Errorf("sched: negative task deadline %v", simSeconds)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deadline = simSeconds
+	return nil
+}
+
+// DeadDevices returns the IDs of devices lost to crashes, ascending.
+func (p *Pool) DeadDevices() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for i, d := range p.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // GenerationReport describes the simulated schedule of one generation.
 type GenerationReport struct {
-	// TaskSeconds is each task's simulated duration, in submission order.
+	// TaskSeconds is each task's final successful simulated duration, in
+	// submission order (0 for tasks that failed).
 	TaskSeconds []float64
-	// DeviceBusy is the simulated busy time of each device.
+	// DeviceBusy is the simulated busy time of each device (including
+	// time spent on attempts that later failed).
 	DeviceBusy []float64
 	// WallSeconds is the generation's simulated makespan (the barrier:
 	// the generation ends when its last task ends).
 	WallSeconds float64
 	// IdleSeconds sums each device's idle time under the barrier — the
 	// downtime §2.5 describes when the generation size does not divide
-	// the device count.
+	// the device count. Devices dead before the generation contribute
+	// nothing; a device crashing mid-generation stops accruing idle at
+	// its death.
 	IdleSeconds float64
+	// Retries counts re-dispatched attempts.
+	Retries int
+	// Faults counts fault events (injected errors, crashes, deadline
+	// misses, real transient failures).
+	Faults int
+	// LostSeconds is the simulated time wasted on failed attempts.
+	LostSeconds float64
+}
+
+// attemptMeta tracks one task's position in the retry state machine.
+type attemptMeta struct {
+	task      int
+	attempt   int          // 1-based number of the next dispatch
+	exclude   map[int]bool // devices this task already failed on
+	notBefore float64      // virtual release time after backoff
+}
+
+func (a *attemptMeta) excludeDev(id int) {
+	if a.exclude == nil {
+		a.exclude = make(map[int]bool)
+	}
+	a.exclude[id] = true
+}
+
+// genRun is the mutable state of one RunGeneration call. Worker
+// goroutines (one per alive device) pull attempts FIFO from queue,
+// execute them for real, and advance per-device virtual clocks for the
+// simulated-time accounting.
+type genRun struct {
+	pool  *Pool
+	gen   int
+	tasks []Task
+	ctx   context.Context
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*attemptMeta
+	remaining  int
+	done       []bool
+	durations  []float64
+	errs       []error
+	startAlive []bool
+	alive      []bool
+	vt         []float64 // per-device virtual clock within the generation
+	busyDev    []float64
+	aliveEnd   []float64 // virtual death time of devices crashing this generation
+	sumDur     float64   // successful-attempt duration statistics, for
+	nDur       int       // sizing injected-failure losses
+	retries    int
+	faults     int
+	lost       float64
+	budget     int // remaining retries this generation; -1 = unlimited
+	canceled   bool
 }
 
 // RunGeneration executes the tasks FIFO across the pool — each of the
 // pool's worker goroutines takes the next task as soon as it finishes its
-// previous one — then reconstructs the deterministic FIFO list schedule
-// in simulated time (task k goes to the device that frees earliest).
-// All tasks run even if some fail; the first error is returned after the
-// generation completes so accounting stays consistent.
-func (p *Pool) RunGeneration(tasks []Task) (*GenerationReport, error) {
+// previous one. Transient failures (injected by the fault plan or
+// returned by tasks via Transient) are retried under the retry policy; a
+// crashing device is drained and its work redistributed to survivors.
+//
+// All tasks run even if some fail: task errors are aggregated with
+// errors.Join and returned alongside the report, and the generation's
+// accounting (including completed tasks) is always committed. On a
+// fault-free generation the deterministic FIFO list schedule is
+// reconstructed in simulated time exactly as the paper models it (task k
+// goes to the device that frees earliest); when faults, retries, or
+// deadlines intervene, the accounting follows the dynamic schedule the
+// dispatcher actually produced.
+func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationReport, error) {
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("sched: empty generation")
 	}
-	durations := make([]float64, len(tasks))
-	errs := make([]error, len(tasks))
-	next := make(chan int)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	gen := p.nextGen
+	p.nextGen++
+	n := len(p.devices)
+	alive := make([]bool, n)
+	aliveCount := 0
+	for i := range p.devices {
+		alive[i] = !p.dead[i]
+		if alive[i] {
+			aliveCount++
+		}
+	}
+	p.mu.Unlock()
+	if aliveCount == 0 {
+		return nil, fmt.Errorf("sched: no alive devices (all %d crashed)", n)
+	}
+
+	g := &genRun{
+		pool:       p,
+		gen:        gen,
+		tasks:      tasks,
+		ctx:        ctx,
+		remaining:  len(tasks),
+		done:       make([]bool, len(tasks)),
+		durations:  make([]float64, len(tasks)),
+		errs:       make([]error, len(tasks)),
+		startAlive: append([]bool(nil), alive...),
+		alive:      alive,
+		vt:         make([]float64, n),
+		busyDev:    make([]float64, n),
+		aliveEnd:   make([]float64, n),
+		budget:     -1,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	if p.retry.Budget > 0 {
+		g.budget = p.retry.Budget
+	}
+	for i := range tasks {
+		g.queue = append(g.queue, &attemptMeta{task: i, attempt: 1})
+	}
+
+	// Wake waiting workers when the context is canceled.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.canceled = true
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
 	var wg sync.WaitGroup
-	for _, dev := range p.devices {
+	for i, dev := range p.devices {
+		if !alive[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(dev Device) {
 			defer wg.Done()
-			for i := range next {
-				durations[i], errs[i] = tasks[i](dev)
-			}
+			g.work(dev)
 		}(dev)
 	}
-	for i := range tasks {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	close(stop)
+
+	// Tasks left behind by cancellation or total device loss.
+	for i := range tasks {
+		if !g.done[i] {
+			if err := ctx.Err(); err != nil {
+				g.errs[i] = fmt.Errorf("sched: task %d: %w", i, err)
+			} else {
+				g.errs[i] = fmt.Errorf("sched: task %d: no alive device left", i)
+			}
 		}
 	}
-	rep := p.simulateFIFO(durations)
+	var taskErrs []error
+	for _, e := range g.errs {
+		if e != nil {
+			taskErrs = append(taskErrs, e)
+		}
+	}
+	err := errors.Join(taskErrs...)
+
+	var rep *GenerationReport
+	if g.retries == 0 && g.faults == 0 {
+		// Fault-free: reconstruct the deterministic FIFO list schedule
+		// over the devices that were alive at generation start.
+		rep = p.simulateFIFOOn(g.startAlive, g.durations)
+	} else {
+		rep = g.report()
+	}
+
 	p.mu.Lock()
+	for i := range g.alive {
+		if !g.alive[i] {
+			p.dead[i] = true
+		}
+	}
 	p.wall += rep.WallSeconds
 	for _, b := range rep.DeviceBusy {
 		p.busy += b
 	}
 	p.idle += rep.IdleSeconds
 	p.tasks += len(tasks)
+	p.retries += rep.Retries
+	p.faults += rep.Faults
+	p.lost += rep.LostSeconds
 	p.mu.Unlock()
-	return rep, nil
+	return rep, err
+}
+
+// work is one device's dispatch loop.
+func (g *genRun) work(dev Device) {
+	p := g.pool
+	completed := 0
+	crashAfter, willCrash := 0, false
+	if p.plan != nil {
+		crashAfter, willCrash = p.plan.crashPoint(g.gen, dev.ID)
+	}
+	slow := 1.0
+	if p.plan != nil {
+		slow = p.plan.slowFactor(g.gen, dev.ID)
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.remaining == 0 || g.canceled {
+			// A scheduled crash that never found its mid-generation
+			// trigger (the device never reached its quota) still fires
+			// at the barrier, so the next generation sees the device
+			// gone; no in-flight work is lost in that case.
+			if willCrash && g.aliveCount() > 1 {
+				g.faults++
+				g.markDead(dev)
+			}
+			return
+		}
+		att := g.pop(dev.ID)
+		if att == nil {
+			g.cond.Wait()
+			continue
+		}
+		// Crash mid-generation: the device dies taking the popped
+		// attempt down with it; the lost work is requeued at the head
+		// (it was next in FIFO order) for the survivors.
+		if willCrash && completed >= crashAfter && g.aliveCount() > 1 {
+			loss := p.plan.failPointLoss(g.meanDur())
+			g.busyDev[dev.ID] += loss
+			g.vt[dev.ID] += loss
+			g.lost += loss
+			g.faults++
+			g.retries++
+			att.excludeDev(dev.ID)
+			g.queue = append([]*attemptMeta{att}, g.queue...)
+			g.markDead(dev)
+			g.cond.Broadcast()
+			return
+		}
+		// Injected transient failure: the attempt dies before the task
+		// runs, wasting a deterministic fraction of a typical attempt.
+		if p.plan != nil && p.plan.transient(g.gen, att.task, att.attempt) {
+			loss := p.plan.failPointLoss(g.meanDur())
+			g.busyDev[dev.ID] += loss
+			g.vt[dev.ID] += loss
+			completed++
+			g.fail(att, dev, loss, Transient("injected", ErrInjectedFault))
+			continue
+		}
+
+		tc := TaskCtx{
+			Ctx:             g.ctx,
+			Dev:             dev,
+			Generation:      g.gen,
+			Task:            att.task,
+			Attempt:         att.attempt,
+			SlowFactor:      slow,
+			DeadlineSeconds: p.deadline,
+		}
+		start := g.vt[dev.ID]
+		if att.notBefore > start {
+			start = att.notBefore
+		}
+		g.mu.Unlock()
+		dur, err := g.tasks[att.task](tc)
+		g.mu.Lock()
+		completed++
+		g.busyDev[dev.ID] += dur
+		g.vt[dev.ID] = start + dur
+		switch {
+		case err == nil:
+			g.done[att.task] = true
+			g.durations[att.task] = dur
+			g.sumDur += dur
+			g.nDur++
+			g.remaining--
+			if g.remaining == 0 {
+				g.cond.Broadcast()
+			}
+		case IsTransient(err) && g.ctx.Err() == nil:
+			g.fail(att, dev, dur, err)
+		default:
+			g.errs[att.task] = fmt.Errorf("sched: task %d (attempt %d): %w", att.task, att.attempt, err)
+			g.done[att.task] = true
+			g.remaining--
+			if g.remaining == 0 {
+				g.cond.Broadcast()
+			}
+		}
+	}
+}
+
+// fail books a transient failure: retry with backoff on another device
+// when attempts and budget remain, otherwise fail the task. Callers hold
+// g.mu.
+func (g *genRun) fail(att *attemptMeta, dev Device, cost float64, cause error) {
+	g.faults++
+	g.lost += cost
+	maxAttempts := g.pool.retry.maxAttempts(g.pool.plan != nil)
+	if att.attempt >= maxAttempts || g.budget == 0 {
+		g.errs[att.task] = fmt.Errorf("sched: task %d failed after %d attempt(s): %w", att.task, att.attempt, cause)
+		g.done[att.task] = true
+		g.remaining--
+		g.cond.Broadcast()
+		return
+	}
+	if g.budget > 0 {
+		g.budget--
+	}
+	g.retries++
+	att.attempt++
+	att.excludeDev(dev.ID)
+	att.notBefore = g.vt[dev.ID] + g.pool.retry.backoff(att.attempt)
+	g.queue = append(g.queue, att)
+	g.cond.Broadcast()
+}
+
+// pop removes and returns the first queued attempt eligible for the
+// device. An attempt whose exclusions cover every alive device has its
+// exclusions cleared (better a previously failed device than deadlock).
+// Callers hold g.mu.
+func (g *genRun) pop(devID int) *attemptMeta {
+	for qi, att := range g.queue {
+		if att.exclude[devID] {
+			if g.excludesAllAlive(att) {
+				att.exclude = nil
+			} else {
+				continue
+			}
+		}
+		g.queue = append(g.queue[:qi], g.queue[qi+1:]...)
+		return att
+	}
+	return nil
+}
+
+func (g *genRun) excludesAllAlive(att *attemptMeta) bool {
+	for i, a := range g.alive {
+		if a && !att.exclude[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *genRun) aliveCount() int {
+	n := 0
+	for _, a := range g.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *genRun) markDead(dev Device) {
+	g.alive[dev.ID] = false
+	g.aliveEnd[dev.ID] = g.vt[dev.ID]
+}
+
+func (g *genRun) meanDur() float64 {
+	if g.nDur == 0 {
+		return 0
+	}
+	return g.sumDur / float64(g.nDur)
+}
+
+// report assembles the accounting of a generation that saw faults or
+// retries, following the dynamic schedule the dispatcher produced.
+func (g *genRun) report() *GenerationReport {
+	wall := 0.0
+	for _, t := range g.vt {
+		if t > wall {
+			wall = t
+		}
+	}
+	idle := 0.0
+	for i := range g.pool.devices {
+		if !g.startAlive[i] {
+			continue
+		}
+		end := wall
+		if !g.alive[i] {
+			end = g.aliveEnd[i]
+		}
+		idle += end - g.busyDev[i]
+	}
+	return &GenerationReport{
+		TaskSeconds: append([]float64(nil), g.durations...),
+		DeviceBusy:  append([]float64(nil), g.busyDev...),
+		WallSeconds: wall,
+		IdleSeconds: idle,
+		Retries:     g.retries,
+		Faults:      g.faults,
+		LostSeconds: g.lost,
+	}
 }
 
 // simulateFIFO assigns tasks in order, each to the device that becomes
 // available first (ties to the lowest ID), and computes the makespan.
 func (p *Pool) simulateFIFO(durations []float64) *GenerationReport {
-	avail := make([]float64, len(p.devices))
+	all := make([]bool, len(p.devices))
+	for i := range all {
+		all[i] = true
+	}
+	return p.simulateFIFOOn(all, durations)
+}
+
+// simulateFIFOOn restricts the FIFO list schedule to the devices marked
+// alive; DeviceBusy still spans the whole pool (dead devices stay 0).
+func (p *Pool) simulateFIFOOn(alive []bool, durations []float64) *GenerationReport {
+	var idx []int
+	for i, a := range alive {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	avail := make([]float64, len(idx))
 	busy := make([]float64, len(p.devices))
 	for _, d := range durations {
 		best := 0
@@ -150,7 +613,7 @@ func (p *Pool) simulateFIFO(durations []float64) *GenerationReport {
 			}
 		}
 		avail[best] += d
-		busy[best] += d
+		busy[idx[best]] += d
 	}
 	wall := 0.0
 	for _, a := range avail {
@@ -159,8 +622,8 @@ func (p *Pool) simulateFIFO(durations []float64) *GenerationReport {
 		}
 	}
 	idle := 0.0
-	for _, b := range busy {
-		idle += wall - b
+	for _, i := range idx {
+		idle += wall - busy[i]
 	}
 	return &GenerationReport{
 		TaskSeconds: append([]float64(nil), durations...),
@@ -188,12 +651,27 @@ type Totals struct {
 	OverheadSeconds float64
 	Tasks           int
 	Devices         int
+	// Retries counts re-dispatched attempts across generations.
+	Retries int
+	// Faults counts fault events (injected errors, crashes, deadline
+	// misses, real transient failures).
+	Faults int
+	// LostSeconds is the simulated time wasted on failed attempts.
+	LostSeconds float64
+	// DeadDevices counts devices lost to crashes.
+	DeadDevices int
 }
 
 // Totals returns the accumulated accounting across all generations.
 func (p *Pool) Totals() Totals {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	deadCount := 0
+	for _, d := range p.dead {
+		if d {
+			deadCount++
+		}
+	}
 	return Totals{
 		WallSeconds:     p.wall,
 		BusySeconds:     p.busy,
@@ -201,12 +679,21 @@ func (p *Pool) Totals() Totals {
 		OverheadSeconds: p.overheads,
 		Tasks:           p.tasks,
 		Devices:         len(p.devices),
+		Retries:         p.retries,
+		Faults:          p.faults,
+		LostSeconds:     p.lost,
+		DeadDevices:     deadCount,
 	}
 }
 
-// Reset clears the cumulative accounting (the device list is kept).
+// Reset clears the cumulative accounting and revives crashed devices
+// (the device list and fault configuration are kept).
 func (p *Pool) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.wall, p.busy, p.idle, p.overheads, p.tasks = 0, 0, 0, 0, 0
+	p.retries, p.faults, p.lost, p.nextGen = 0, 0, 0, 0
+	for i := range p.dead {
+		p.dead[i] = false
+	}
 }

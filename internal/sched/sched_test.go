@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -10,7 +11,7 @@ import (
 )
 
 func constTask(d float64) Task {
-	return func(dev Device) (float64, error) { return d, nil }
+	return func(tc TaskCtx) (float64, error) { return d, nil }
 }
 
 func TestNewPoolValidation(t *testing.T) {
@@ -41,7 +42,7 @@ func TestEpochCost(t *testing.T) {
 
 func TestRunGenerationSingleDevice(t *testing.T) {
 	p, _ := NewPool(1, 1e9)
-	rep, err := p.RunGeneration([]Task{constTask(2), constTask(3), constTask(5)})
+	rep, err := p.RunGeneration(context.Background(), []Task{constTask(2), constTask(3), constTask(5)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestRunGenerationFIFOPlacement(t *testing.T) {
 	p, _ := NewPool(2, 1e9)
 	// FIFO: dev0←4, dev1←1, dev1←1 (frees at 2), dev1←1 (frees at 3).
 	// Makespan 4; busy = [4, 3]; idle = 1.
-	rep, err := p.RunGeneration([]Task{constTask(4), constTask(1), constTask(1), constTask(1)})
+	rep, err := p.RunGeneration(context.Background(), []Task{constTask(4), constTask(1), constTask(1), constTask(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestGenerationBarrierIdle(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = constTask(1)
 	}
-	rep, err := p.RunGeneration(tasks)
+	rep, err := p.RunGeneration(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestRunGenerationExecutesConcurrently(t *testing.T) {
 	var peak, cur atomic.Int32
 	tasks := make([]Task, 8)
 	for i := range tasks {
-		tasks[i] = func(dev Device) (float64, error) {
+		tasks[i] = func(tc TaskCtx) (float64, error) {
 			c := cur.Add(1)
 			for {
 				old := peak.Load()
@@ -109,7 +110,7 @@ func TestRunGenerationExecutesConcurrently(t *testing.T) {
 			return 1, nil
 		}
 	}
-	if _, err := p.RunGeneration(tasks); err != nil {
+	if _, err := p.RunGeneration(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
 	if peak.Load() < 2 {
@@ -119,21 +120,21 @@ func TestRunGenerationExecutesConcurrently(t *testing.T) {
 
 func TestRunGenerationPropagatesErrors(t *testing.T) {
 	p, _ := NewPool(2, 1e9)
-	bad := func(dev Device) (float64, error) { return 0, fmt.Errorf("train failed") }
-	if _, err := p.RunGeneration([]Task{constTask(1), bad}); err == nil {
+	bad := func(tc TaskCtx) (float64, error) { return 0, fmt.Errorf("train failed") }
+	if _, err := p.RunGeneration(context.Background(), []Task{constTask(1), bad}); err == nil {
 		t.Fatal("task error must propagate")
 	}
-	if _, err := p.RunGeneration(nil); err == nil {
+	if _, err := p.RunGeneration(context.Background(), nil); err == nil {
 		t.Fatal("empty generation must fail")
 	}
 }
 
 func TestTotalsAccumulate(t *testing.T) {
 	p, _ := NewPool(2, 1e9)
-	if _, err := p.RunGeneration([]Task{constTask(2), constTask(2)}); err != nil {
+	if _, err := p.RunGeneration(context.Background(), []Task{constTask(2), constTask(2)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.RunGeneration([]Task{constTask(4)}); err != nil {
+	if _, err := p.RunGeneration(context.Background(), []Task{constTask(4)}); err != nil {
 		t.Fatal(err)
 	}
 	p.AddOverhead(0.5)
@@ -208,12 +209,12 @@ func TestFourDevicesNearLinear(t *testing.T) {
 		return tasks
 	}
 	p1, _ := NewPool(1, 1e9)
-	r1, err := p1.RunGeneration(mk(100))
+	r1, err := p1.RunGeneration(context.Background(), mk(100))
 	if err != nil {
 		t.Fatal(err)
 	}
 	p4, _ := NewPool(4, 1e9)
-	r4, err := p4.RunGeneration(mk(100))
+	r4, err := p4.RunGeneration(context.Background(), mk(100))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package simtrain
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -188,7 +189,7 @@ func trainCohort(t *testing.T, beam xfel.BeamIntensity, n int) (termFrac, meanEt
 			t.Fatal(err)
 		}
 		orch := &core.Orchestrator{Engine: eng, MaxEpochs: 25}
-		out, err := orch.TrainModel(m, sched.Device{Throughput: 1e12}, 100, nil)
+		out, err := orch.TrainModel(context.Background(), m, sched.Device{Throughput: 1e12}, 100, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
