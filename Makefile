@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet build test race bench bench-smoke bench-json clean
 
-# ci is the gate for every change: static analysis, a full build, and
-# the test suite under the race detector.
-ci: vet build race
+# ci is the gate for every change: static analysis, a full build, the
+# test suite under the race detector, and a one-iteration benchmark smoke
+# run so the hot-path benchmarks cannot silently rot.
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,5 +22,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
+# bench-smoke runs every tensor/nn microbenchmark for a single iteration
+# under -short (skips the 1024 GEMM), as a correctness check in ci.
+bench-smoke:
+	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./internal/tensor ./internal/nn
+
+# bench-json re-measures the training hot-path benchmarks and writes
+# BENCH_tensor.json with the committed pre-optimisation baseline
+# (BENCH_baseline.txt) alongside the fresh numbers.
+bench-json:
+	$(GO) test -run=^$$ -bench='BenchmarkMatMul$$|BenchmarkIm2ColBatch$$' -benchmem ./internal/tensor > bench-current.tmp
+	$(GO) test -run=^$$ -bench='BenchmarkConvForwardBackward$$|BenchmarkTrainStep$$' -benchmem ./internal/nn >> bench-current.tmp
+	@{ \
+	  echo '{'; \
+	  echo '  "baseline": '; awk -f scripts/benchjson.awk BENCH_baseline.txt; \
+	  echo '  ,"current": '; awk -f scripts/benchjson.awk bench-current.tmp; \
+	  echo '}'; \
+	} > BENCH_tensor.json
+	@rm -f bench-current.tmp
+	@echo wrote BENCH_tensor.json
+
 clean:
 	$(GO) clean -testcache
+	rm -f bench-current.tmp

@@ -8,9 +8,12 @@ import (
 )
 
 // ReLU is the rectified linear activation applied element-wise; it works
-// on tensors of any rank.
+// on tensors of any rank. Its output and gradient buffers are pooled and
+// reused across steps.
 type ReLU struct {
 	mask []bool // forward cache: which inputs were positive
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -30,25 +33,30 @@ func (r *ReLU) FLOPs(in []int) int64 { return int64(shapeProduct(in)) }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	y := tensor.New(x.Shape()...)
-	xd, yd := x.Data(), y.Data()
+	r.y = ws.Obtain(r.y, x.Shape()...)
+	xd, yd := x.Data(), r.y.Data()
 	if train {
 		if cap(r.mask) < len(xd) {
 			r.mask = make([]bool, len(xd))
 		}
 		r.mask = r.mask[:len(xd)]
 	}
+	// The pooled buffer arrives with stale contents, so both branches
+	// write their element.
 	for i, v := range xd {
 		if v > 0 {
 			yd[i] = v
 			if train {
 				r.mask[i] = true
 			}
-		} else if train {
-			r.mask[i] = false
+		} else {
+			yd[i] = 0
+			if train {
+				r.mask[i] = false
+			}
 		}
 	}
-	return y, nil
+	return r.y, nil
 }
 
 // Backward implements Layer.
@@ -56,14 +64,16 @@ func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if r.mask == nil || len(r.mask) != grad.Len() {
 		return nil, fmt.Errorf("nn: relu: Backward without matching training Forward")
 	}
-	dx := tensor.New(grad.Shape()...)
-	gd, dd := grad.Data(), dx.Data()
+	r.dx = ws.Obtain(r.dx, grad.Shape()...)
+	gd, dd := grad.Data(), r.dx.Data()
 	for i, m := range r.mask {
 		if m {
 			dd[i] = gd[i]
+		} else {
+			dd[i] = 0
 		}
 	}
-	return dx, nil
+	return r.dx, nil
 }
 
 // Flatten reshapes (N, C, H, W) (or any rank ≥ 2) batches to (N, rest).
@@ -94,7 +104,7 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 		return nil, errShape("flatten", "(N,...)", x.Shape())
 	}
 	if train {
-		f.inShape = append([]int(nil), x.Shape()...)
+		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
 	n := x.Dim(0)
 	return x.Reshape(n, x.Len()/n)
@@ -114,6 +124,8 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	mask []float64
+	y    *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewDropout creates a dropout layer with drop probability p in [0, 1).
@@ -147,17 +159,18 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 		d.mask = make([]float64, x.Len())
 	}
 	d.mask = d.mask[:x.Len()]
-	y := tensor.New(x.Shape()...)
-	xd, yd := x.Data(), y.Data()
+	d.y = ws.Obtain(d.y, x.Shape()...)
+	xd, yd := x.Data(), d.y.Data()
 	for i := range xd {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = 0
+			yd[i] = 0
 		} else {
 			d.mask[i] = scale
 			yd[i] = xd[i] * scale
 		}
 	}
-	return y, nil
+	return d.y, nil
 }
 
 // Backward implements Layer.
@@ -169,10 +182,10 @@ func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if len(d.mask) != grad.Len() {
 		return nil, fmt.Errorf("nn: dropout: gradient length %d does not match mask %d", grad.Len(), len(d.mask))
 	}
-	dx := tensor.New(grad.Shape()...)
-	gd, dd := grad.Data(), dx.Data()
+	d.dx = ws.Obtain(d.dx, grad.Shape()...)
+	gd, dd := grad.Data(), d.dx.Data()
 	for i, m := range d.mask {
 		dd[i] = gd[i] * m
 	}
-	return dx, nil
+	return d.dx, nil
 }

@@ -13,6 +13,7 @@ type AvgPool2D struct {
 	K, Stride, Pad int
 
 	inShape []int
+	y, dx   *tensor.Tensor // pooled output / input-gradient buffers
 }
 
 // NewAvgPool2D creates an unpadded average-pooling layer.
@@ -73,7 +74,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		return nil, err
 	}
 	oh, ow := out[1], out[2]
-	y := tensor.New(n, c, oh, ow)
+	p.y = ws.Obtain(p.y, n, c, oh, ow)
+	y := p.y
 	xd, yd := x.Data(), y.Data()
 	oi := 0
 	for i := 0; i < n; i++ {
@@ -106,7 +108,7 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		}
 	}
 	if train {
-		p.inShape = []int{n, c, h, w}
+		p.inShape = append(p.inShape[:0], n, c, h, w)
 	}
 	return y, nil
 }
@@ -125,7 +127,9 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Rank() != 4 || grad.Dim(0) != n || grad.Dim(1) != c || grad.Dim(2) != oh || grad.Dim(3) != ow {
 		return nil, errShape(p.Name()+" backward", []int{n, c, oh, ow}, grad.Shape())
 	}
-	dx := tensor.New(n, c, h, w)
+	// Zeroed: border windows accumulate shares into the pooled buffer.
+	dx := ws.ObtainZeroed(p.dx, n, c, h, w)
+	p.dx = dx
 	dd, gd := dx.Data(), grad.Data()
 	oi := 0
 	for i := 0; i < n; i++ {

@@ -4,14 +4,15 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"a4nn/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution over NCHW batches, implemented as a batched
-// im2col + matrix multiplication so the parallel MatMul kernel does the
-// heavy lifting.
+// im2col + matrix multiplication so the blocked parallel GEMM kernel does
+// the heavy lifting. All intermediate matrices live in pooled buffers that
+// are reused across training steps; a steady-state forward/backward pair
+// allocates nothing.
 type Conv2D struct {
 	InC, OutC   int
 	KH, KW      int
@@ -19,11 +20,20 @@ type Conv2D struct {
 	W           *Param // (OutC, InC·KH·KW)
 	B           *Param // (OutC)
 
-	// forward cache
-	cols       *tensor.Tensor // (InC·KH·KW, N·OH·OW)
+	// Reusable kernel workspace. cols doubles as the forward cache the
+	// backward pass consumes; the rest are scratch recycled every call.
+	cols  *tensor.Tensor // (InC·KH·KW, N·OH·OW) batched im2col
+	prod  *tensor.Tensor // (OutC, N·OH·OW) forward GEMM output
+	y     *tensor.Tensor // (N, OutC, OH, OW) layer output
+	g     *tensor.Tensor // (OutC, N·OH·OW) rearranged output gradient
+	dcols *tensor.Tensor // (InC·KH·KW, N·OH·OW) column gradient
+	dw    *tensor.Tensor // (OutC, InC·KH·KW) weight-gradient scratch
+	dx    *tensor.Tensor // (N, InC, H, W) input gradient
+
 	inH, inW   int
 	batch      int
 	outH, outW int
+	trained    bool // a training Forward has populated cols
 }
 
 // NewConv2D creates a convolution with He-normal initialised weights.
@@ -93,40 +103,22 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	ckk := c.InC * c.KH * c.KW
 	spat := oh * ow
 
-	// Batched im2col: column s of sample i lands in column i·spat+s.
-	cols := tensor.New(ckk, n*spat)
-	sampleLen := c.InC * h * w
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sub, err := tensor.FromSlice(x.Data()[i*sampleLen:(i+1)*sampleLen], c.InC, h, w)
-			if err != nil {
-				return // unreachable: slice length matches by construction
-			}
-			sc, err := tensor.Im2Col(sub, c.KH, c.KW, c.Stride, c.Pad)
-			if err != nil {
-				return
-			}
-			// Copy sample columns into the batched matrix.
-			src := sc.Data()
-			dst := cols.Data()
-			for r := 0; r < ckk; r++ {
-				copy(dst[r*n*spat+i*spat:r*n*spat+(i+1)*spat], src[r*spat:(r+1)*spat])
-			}
-		}(i)
+	// Batched im2col straight into the strided column slots: column s of
+	// sample i lands in column i·spat+s, with no per-sample intermediate.
+	c.cols = ws.Obtain(c.cols, ckk, n*spat)
+	if err := tensor.Im2ColBatchInto(x, c.cols, c.KH, c.KW, c.Stride, c.Pad); err != nil {
+		return nil, fmt.Errorf("nn: %s forward im2col: %w", c.Name(), err)
 	}
-	wg.Wait()
 
-	prod, err := tensor.MatMul(c.W.Value, cols) // (OutC, N·spat)
-	if err != nil {
+	c.prod = ws.Obtain(c.prod, c.OutC, n*spat)
+	if err := tensor.MatMulInto(c.W.Value, c.cols, c.prod); err != nil {
 		return nil, fmt.Errorf("nn: %s forward: %w", c.Name(), err)
 	}
 
-	// Rearrange (OutC, N·spat) → (N, OutC, OH, OW) and add bias.
-	y := tensor.New(n, c.OutC, oh, ow)
-	pd, yd, bd := prod.Data(), y.Data(), c.B.Value.Data()
+	// Rearrange (OutC, N·spat) → (N, OutC, OH, OW) and add bias; every
+	// element of y is written.
+	c.y = ws.Obtain(c.y, n, c.OutC, oh, ow)
+	pd, yd, bd := c.prod.Data(), c.y.Data(), c.B.Value.Data()
 	for f := 0; f < c.OutC; f++ {
 		bias := bd[f]
 		for i := 0; i < n; i++ {
@@ -139,14 +131,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	}
 
 	if train {
-		c.cols, c.batch, c.inH, c.inW, c.outH, c.outW = cols, n, h, w, oh, ow
+		c.batch, c.inH, c.inW, c.outH, c.outW = n, h, w, oh, ow
+		c.trained = true
 	}
-	return y, nil
+	return c.y, nil
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if c.cols == nil {
+	if !c.trained || c.cols == nil {
 		return nil, fmt.Errorf("nn: %s: Backward without prior training Forward", c.Name())
 	}
 	n, oh, ow := c.batch, c.outH, c.outW
@@ -156,8 +149,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 
 	// Rearrange grad (N, OutC, spat) → G (OutC, N·spat).
-	g := tensor.New(c.OutC, n*spat)
-	gd, rd := g.Data(), grad.Data()
+	c.g = ws.Obtain(c.g, c.OutC, n*spat)
+	gd, rd := c.g.Data(), grad.Data()
 	for i := 0; i < n; i++ {
 		for f := 0; f < c.OutC; f++ {
 			src := rd[i*c.OutC*spat+f*spat : i*c.OutC*spat+(f+1)*spat]
@@ -166,11 +159,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 
 	// dW += G · colsᵀ ; db += row sums of G.
-	dw, err := tensor.MatMulTransB(g, c.cols)
-	if err != nil {
+	c.dw = ws.Obtain(c.dw, c.OutC, c.InC*c.KH*c.KW)
+	if err := tensor.MatMulTransBInto(c.g, c.cols, c.dw); err != nil {
 		return nil, fmt.Errorf("nn: %s backward dW: %w", c.Name(), err)
 	}
-	c.W.Grad.AddScaled(dw, 1)
+	c.W.Grad.AddScaled(c.dw, 1)
 	bg := c.B.Grad.Data()
 	for f := 0; f < c.OutC; f++ {
 		s := 0.0
@@ -180,39 +173,15 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		bg[f] += s
 	}
 
-	// dcols = Wᵀ · G, then per-sample col2im.
-	dcols, err := tensor.MatMulTransA(c.W.Value, g)
-	if err != nil {
+	// dcols = Wᵀ · G, then the batched col2im scatters every sample's
+	// columns straight from their strided slots into dx.
+	c.dcols = ws.Obtain(c.dcols, c.InC*c.KH*c.KW, n*spat)
+	if err := tensor.MatMulTransAInto(c.W.Value, c.g, c.dcols); err != nil {
 		return nil, fmt.Errorf("nn: %s backward dcols: %w", c.Name(), err)
 	}
-	ckk := c.InC * c.KH * c.KW
-	dx := tensor.New(n, c.InC, c.inH, c.inW)
-	sampleLen := c.InC * c.inH * c.inW
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			// Gather this sample's columns into a contiguous (ckk, spat).
-			sc := tensor.New(ckk, spat)
-			src, dst := dcols.Data(), sc.Data()
-			for r := 0; r < ckk; r++ {
-				copy(dst[r*spat:(r+1)*spat], src[r*n*spat+i*spat:r*n*spat+(i+1)*spat])
-			}
-			img, err := tensor.Col2Im(sc, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			copy(dx.Data()[i*sampleLen:(i+1)*sampleLen], img.Data())
-		}(i)
+	c.dx = ws.Obtain(c.dx, n, c.InC, c.inH, c.inW)
+	if err := tensor.Col2ImBatchFrom(c.dcols, c.dx, c.KH, c.KW, c.Stride, c.Pad); err != nil {
+		return nil, fmt.Errorf("nn: %s backward col2im: %w", c.Name(), err)
 	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("nn: %s backward col2im: %w", c.Name(), e)
-		}
-	}
-	return dx, nil
+	return c.dx, nil
 }

@@ -9,12 +9,17 @@ import (
 )
 
 // Dense is a fully connected layer y = x·Wᵀ + b over batches of shape
-// (N, In); W has shape (Out, In).
+// (N, In); W has shape (Out, In). Output and gradient buffers come from
+// the shared workspace and are reused across steps.
 type Dense struct {
 	In, Out int
 	W       *Param
 	B       *Param
-	x       *tensor.Tensor // forward cache
+
+	x  *tensor.Tensor // forward cache (borrowed from upstream layer)
+	y  *tensor.Tensor // (N, Out) pooled output
+	dw *tensor.Tensor // (Out, In) weight-gradient scratch
+	dx *tensor.Tensor // (N, In) pooled input gradient
 }
 
 // NewDense creates a dense layer with He-normal initialised weights.
@@ -57,12 +62,12 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		return nil, errShape(d.Name(), "(N,in)", x.Shape())
 	}
-	y, err := tensor.MatMulTransB(x, d.W.Value) // (N, Out)
-	if err != nil {
+	n := x.Dim(0)
+	d.y = ws.Obtain(d.y, n, d.Out)
+	if err := tensor.MatMulTransBInto(x, d.W.Value, d.y); err != nil { // (N, Out)
 		return nil, fmt.Errorf("nn: %s forward: %w", d.Name(), err)
 	}
-	n := x.Dim(0)
-	yd, bd := y.Data(), d.B.Value.Data()
+	yd, bd := d.y.Data(), d.B.Value.Data()
 	for i := 0; i < n; i++ {
 		row := yd[i*d.Out : (i+1)*d.Out]
 		for j := range row {
@@ -72,7 +77,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if train {
 		d.x = x
 	}
-	return y, nil
+	return d.y, nil
 }
 
 // Backward implements Layer.
@@ -84,11 +89,11 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != d.Out {
 		return nil, errShape(d.Name()+" backward", []int{n, d.Out}, grad.Shape())
 	}
-	dw, err := tensor.MatMulTransA(grad, d.x) // gradᵀ·x → (Out, In)
-	if err != nil {
+	d.dw = ws.Obtain(d.dw, d.Out, d.In)
+	if err := tensor.MatMulTransAInto(grad, d.x, d.dw); err != nil { // gradᵀ·x → (Out, In)
 		return nil, fmt.Errorf("nn: %s backward dW: %w", d.Name(), err)
 	}
-	d.W.Grad.AddScaled(dw, 1)
+	d.W.Grad.AddScaled(d.dw, 1)
 	bg, gd := d.B.Grad.Data(), grad.Data()
 	for i := 0; i < n; i++ {
 		row := gd[i*d.Out : (i+1)*d.Out]
@@ -96,9 +101,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 			bg[j] += v
 		}
 	}
-	dx, err := tensor.MatMul(grad, d.W.Value) // (N, In)
-	if err != nil {
+	d.dx = ws.Obtain(d.dx, n, d.In)
+	if err := tensor.MatMulInto(grad, d.W.Value, d.dx); err != nil { // (N, In)
 		return nil, fmt.Errorf("nn: %s backward dx: %w", d.Name(), err)
 	}
-	return dx, nil
+	return d.dx, nil
 }

@@ -14,21 +14,39 @@ type SoftmaxCrossEntropy struct{}
 
 // Loss computes the mean cross-entropy over the batch and the gradient of
 // that loss with respect to the logits: (softmax(logits) − onehot) / N.
-func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, err error) {
+func (s SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, err error) {
 	if logits.Rank() != 2 {
 		return 0, nil, fmt.Errorf("nn: cross-entropy expects (N,K) logits, got %v", logits.Shape())
 	}
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss, err = s.LossInto(logits, labels, grad)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// LossInto is Loss writing the gradient into the caller-provided grad of
+// shape (N, K), so the training loop can reuse one pooled buffer across
+// batches instead of allocating per step. Every element of grad is
+// overwritten on success; on error its contents are unspecified.
+func (SoftmaxCrossEntropy) LossInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) (loss float64, err error) {
+	if logits.Rank() != 2 {
+		return 0, fmt.Errorf("nn: cross-entropy expects (N,K) logits, got %v", logits.Shape())
+	}
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
-		return 0, nil, fmt.Errorf("nn: %d labels for batch of %d", len(labels), n)
+		return 0, fmt.Errorf("nn: %d labels for batch of %d", len(labels), n)
 	}
-	grad = tensor.New(n, k)
+	if !grad.SameShape(logits) {
+		return 0, fmt.Errorf("nn: cross-entropy grad shape %v, want %v", grad.Shape(), logits.Shape())
+	}
 	ld, gd := logits.Data(), grad.Data()
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		lbl := labels[i]
 		if lbl < 0 || lbl >= k {
-			return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", lbl, k)
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", lbl, k)
 		}
 		row := ld[i*k : (i+1)*k]
 		// Log-sum-exp with max shift for stability.
@@ -53,7 +71,7 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (loss float
 			gRow[j] = p * invN
 		}
 	}
-	return loss * invN, grad, nil
+	return loss * invN, nil
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label,

@@ -33,6 +33,7 @@ type BatchNorm2D struct {
 	xhat    *tensor.Tensor
 	std     []float64 // per-channel sqrt(var+eps) of the batch
 	inShape []int
+	y, dx   *tensor.Tensor // pooled output / input-gradient buffers
 }
 
 // NewBatchNorm2D creates a batch-normalisation layer over c channels.
@@ -74,7 +75,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, err
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	spat := h * w
 	cnt := float64(n * spat)
-	y := tensor.New(n, c, h, w)
+	b.y = ws.Obtain(b.y, n, c, h, w)
+	y := b.y
 	xd, yd := x.Data(), y.Data()
 	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
 
@@ -85,9 +87,12 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, err
 		if cma := 1 / float64(b.updates); cma > m {
 			m = cma
 		}
-		xhat := tensor.New(n, c, h, w)
+		xhat := ws.Obtain(b.xhat, n, c, h, w)
 		xh := xhat.Data()
-		std := make([]float64, c)
+		if cap(b.std) < c {
+			b.std = make([]float64, c)
+		}
+		std := b.std[:c]
 		for ch := 0; ch < c; ch++ {
 			mean, m2 := 0.0, 0.0
 			for i := 0; i < n; i++ {
@@ -118,7 +123,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, err
 			rm[ch] = (1-m)*rm[ch] + m*mean
 			rv[ch] = (1-m)*rv[ch] + m*variance
 		}
-		b.xhat, b.std, b.inShape = xhat, std, []int{n, c, h, w}
+		b.xhat, b.std, b.inShape = xhat, std, append(b.inShape[:0], n, c, h, w)
 		return y, nil
 	}
 
@@ -150,7 +155,8 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	spat := h * w
 	cnt := float64(n * spat)
-	dx := tensor.New(n, c, h, w)
+	dx := ws.Obtain(b.dx, n, c, h, w)
+	b.dx = dx
 	gd := grad.Data()
 	xh := b.xhat.Data()
 	dd := dx.Data()

@@ -16,6 +16,7 @@ type MaxPool2D struct {
 	// forward cache
 	argmax  []int // flat input index of each output's maximum
 	inShape []int
+	y, dx   *tensor.Tensor // pooled output / input-gradient buffers
 }
 
 // NewMaxPool2D creates an unpadded max-pooling layer.
@@ -75,10 +76,14 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		return nil, err
 	}
 	oh, ow := out[1], out[2]
-	y := tensor.New(n, c, oh, ow)
+	p.y = ws.Obtain(p.y, n, c, oh, ow)
+	y := p.y
 	if train {
-		p.argmax = make([]int, y.Len())
-		p.inShape = []int{n, c, h, w}
+		if cap(p.argmax) < y.Len() {
+			p.argmax = make([]int, y.Len())
+		}
+		p.argmax = p.argmax[:y.Len()]
+		p.inShape = append(p.inShape[:0], n, c, h, w)
 	}
 	xd, yd := x.Data(), y.Data()
 	oi := 0
@@ -130,7 +135,9 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Len() != len(p.argmax) {
 		return nil, fmt.Errorf("nn: %s: gradient has %d elements, expected %d", p.Name(), grad.Len(), len(p.argmax))
 	}
-	dx := tensor.New(p.inShape...)
+	// Zeroed: the gradient scatters sparsely into the pooled buffer.
+	dx := ws.ObtainZeroed(p.dx, p.inShape...)
+	p.dx = dx
 	dd, gd := dx.Data(), grad.Data()
 	for oi, idx := range p.argmax {
 		if idx >= 0 {
@@ -145,6 +152,7 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 // head of the genome-decoded networks, keeping FLOPs low.
 type GlobalAvgPool2D struct {
 	inShape []int
+	y, dx   *tensor.Tensor
 }
 
 // NewGlobalAvgPool2D creates the layer.
@@ -174,7 +182,8 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor,
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	spat := h * w
-	y := tensor.New(n, c)
+	g.y = ws.Obtain(g.y, n, c)
+	y := g.y
 	xd, yd := x.Data(), y.Data()
 	inv := 1 / float64(spat)
 	for i := 0; i < n; i++ {
@@ -187,7 +196,7 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor,
 		}
 	}
 	if train {
-		g.inShape = []int{n, c, h, w}
+		g.inShape = append(g.inShape[:0], n, c, h, w)
 	}
 	return y, nil
 }
@@ -203,7 +212,8 @@ func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) 
 	}
 	spat := h * w
 	inv := 1 / float64(spat)
-	dx := tensor.New(n, c, h, w)
+	dx := ws.Obtain(g.dx, n, c, h, w)
+	g.dx = dx
 	dd, gd := dx.Data(), grad.Data()
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {

@@ -1,0 +1,17 @@
+package nn
+
+import "a4nn/internal/tensor"
+
+// ws is the package-wide kernel workspace. Every layer obtains its forward
+// caches, gradient buffers, and rearrange scratch from here, so in steady
+// state (same shapes step after step) a training step performs no tensor
+// allocations: buffers are reused in place, and when shapes change (last
+// partial batch, next NAS candidate) the old storage is recycled through
+// the workspace's size-classed pools instead of being garbage.
+//
+// The workspace is safe for concurrent use, so networks trained on
+// different goroutines (the resource manager trains one network per
+// simulated device) share one pool of scratch memory. Each buffer is
+// privately owned by exactly one layer between Obtain and the next
+// Obtain/Put, which is what makes the reuse race-free.
+var ws = tensor.NewWorkspace()

@@ -27,12 +27,19 @@ func TrainEpochClipped(net *Network, opt Optimizer, batches []Batch, maxNorm flo
 		return 0, fmt.Errorf("nn: TrainEpoch with no batches")
 	}
 	var ce SoftmaxCrossEntropy
+	// One pooled loss-gradient buffer serves every batch of the epoch.
+	var grad *tensor.Tensor
+	defer func() { ws.Put(grad) }()
 	for bi, b := range batches {
 		logits, err := net.Forward(b.X, true)
 		if err != nil {
 			return 0, fmt.Errorf("nn: batch %d: %w", bi, err)
 		}
-		loss, grad, err := ce.Loss(logits, b.Labels)
+		if logits.Rank() != 2 {
+			return 0, fmt.Errorf("nn: batch %d: network produced rank-%d logits", bi, logits.Rank())
+		}
+		grad = ws.Obtain(grad, logits.Dim(0), logits.Dim(1))
+		loss, err := ce.LossInto(logits, b.Labels, grad)
 		if err != nil {
 			return 0, fmt.Errorf("nn: batch %d: %w", bi, err)
 		}

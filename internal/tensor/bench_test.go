@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMatMul measures the square GEMM at the sizes the conv and dense
+// layers actually produce (small head matrices up to large batched im2col
+// products), writing into a preallocated destination as the training hot
+// path does. 1024 is skipped under -short so the ci smoke run stays fast.
+func BenchmarkMatMul(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		if testing.Short() && size > 256 {
+			continue
+		}
+		b.Run(fmt.Sprint(size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := Randn(rng, 0, 1, size, size)
+			bb := Randn(rng, 0, 1, size, size)
+			dst := New(size, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MatMulInto(a, bb, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			flops := 2 * float64(size) * float64(size) * float64(size)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkIm2ColBatch measures unrolling a full NCHW batch into the
+// (C·kh·kw, N·oh·ow) matrix consumed by the convolution GEMM, each sample
+// written directly into its strided slot.
+func BenchmarkIm2ColBatch(b *testing.B) {
+	const (
+		n, c, h, w     = 16, 8, 28, 28
+		kh, kw, st, pd = 3, 3, 1, 1
+	)
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 0, 1, n, c, h, w)
+	oh, _ := ConvOutSize(h, kh, st, pd)
+	ow, _ := ConvOutSize(w, kw, st, pd)
+	cols := New(c*kh*kw, n*oh*ow)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Im2ColBatchInto(x, cols, kh, kw, st, pd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

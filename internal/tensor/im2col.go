@@ -40,17 +40,57 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, error) {
 		return nil, err
 	}
 	cols := New(c*kh*kw, oh*ow)
-	im2colInto(x.data, cols.data, c, h, w, kh, kw, stride, pad, oh, ow)
+	im2colStrided(x.data, cols.data, 0, oh*ow, c, h, w, kh, kw, stride, pad, oh, ow)
 	return cols, nil
 }
 
-func im2colInto(x, cols []float64, c, h, w, kh, kw, stride, pad, oh, ow int) {
+// Im2ColBatchInto unrolls every sample of an NCHW batch x (N, C, H, W)
+// directly into cols, a (C·kh·kw, N·oh·ow) matrix in which sample i's
+// columns occupy the strided slot [i·oh·ow, (i+1)·oh·ow) of every row —
+// the exact layout the batched convolution GEMM consumes. Every element of
+// cols is overwritten (padded positions with zeros), so cols may come from
+// a workspace uninitialised. Samples are unrolled in parallel on the
+// shared worker pool, bounded by SetMaxWorkers.
+func Im2ColBatchInto(x, cols *Tensor, kh, kw, stride, pad int) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("tensor: Im2ColBatchInto requires rank-4 input (N,C,H,W), got %v", x.shape)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, err := ConvOutSize(h, kh, stride, pad)
+	if err != nil {
+		return err
+	}
+	ow, err := ConvOutSize(w, kw, stride, pad)
+	if err != nil {
+		return err
+	}
+	spat := oh * ow
+	if cols.Rank() != 2 || cols.shape[0] != c*kh*kw || cols.shape[1] != n*spat {
+		return fmt.Errorf("tensor: Im2ColBatchInto expects cols of shape (%d,%d), got %v", c*kh*kw, n*spat, cols.shape)
+	}
+	sampleLen := c * h * w
+	rowStride := n * spat
+	parallelRange(n, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			im2colStrided(x.data[i*sampleLen:(i+1)*sampleLen], cols.data, i*spat, rowStride, c, h, w, kh, kw, stride, pad, oh, ow)
+		}
+	})
+	return nil
+}
+
+// im2colStrided writes one sample's column matrix into cols, where row r
+// of the logical (C·kh·kw, oh·ow) matrix lives at offset r·rowStride+off.
+// With off=0 and rowStride=oh·ow this is the dense single-sample layout;
+// Im2ColBatchInto passes the batched stride so no intermediate copy is
+// needed.
+func im2colStrided(x, cols []float64, off, rowStride, c, h, w, kh, kw, stride, pad, oh, ow int) {
 	ncols := oh * ow
 	for ch := 0; ch < c; ch++ {
 		img := x[ch*h*w : (ch+1)*h*w]
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				row := cols[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				r := (ch*kh+ky)*kw + kx
+				row := cols[r*rowStride+off : r*rowStride+off+ncols]
 				idx := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*stride - pad + ky
@@ -93,12 +133,57 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: Col2Im expects cols of shape (%d,%d), got %v", c*kh*kw, oh*ow, cols.shape)
 	}
 	img := New(c, h, w)
+	col2imStrided(cols.data, img.data, 0, oh*ow, c, h, w, kh, kw, stride, pad, oh, ow)
+	return img, nil
+}
+
+// Col2ImBatchFrom is the adjoint of Im2ColBatchInto: it gathers every
+// sample's columns from their strided slots of cols (C·kh·kw, N·oh·ow) and
+// scatter-accumulates them into dst (N, C, H, W), which is zeroed first.
+// Samples write disjoint regions of dst, so they run in parallel on the
+// shared worker pool.
+func Col2ImBatchFrom(cols, dst *Tensor, kh, kw, stride, pad int) error {
+	if dst.Rank() != 4 {
+		return fmt.Errorf("tensor: Col2ImBatchFrom requires rank-4 dst (N,C,H,W), got %v", dst.shape)
+	}
+	n, c, h, w := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	oh, err := ConvOutSize(h, kh, stride, pad)
+	if err != nil {
+		return err
+	}
+	ow, err := ConvOutSize(w, kw, stride, pad)
+	if err != nil {
+		return err
+	}
+	spat := oh * ow
+	if cols.Rank() != 2 || cols.shape[0] != c*kh*kw || cols.shape[1] != n*spat {
+		return fmt.Errorf("tensor: Col2ImBatchFrom expects cols of shape (%d,%d), got %v", c*kh*kw, n*spat, cols.shape)
+	}
+	sampleLen := c * h * w
+	rowStride := n * spat
+	parallelRange(n, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := dst.data[i*sampleLen : (i+1)*sampleLen]
+			for j := range out {
+				out[j] = 0
+			}
+			col2imStrided(cols.data, out, i*spat, rowStride, c, h, w, kh, kw, stride, pad, oh, ow)
+		}
+	})
+	return nil
+}
+
+// col2imStrided scatter-accumulates one sample's columns (row r of the
+// logical matrix at offset r·rowStride+off) into the (C, H, W) image img,
+// which the caller has zeroed.
+func col2imStrided(cols, img []float64, off, rowStride, c, h, w, kh, kw, stride, pad, oh, ow int) {
 	ncols := oh * ow
 	for ch := 0; ch < c; ch++ {
-		out := img.data[ch*h*w : (ch+1)*h*w]
+		out := img[ch*h*w : (ch+1)*h*w]
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				row := cols.data[((ch*kh+ky)*kw+kx)*ncols : ((ch*kh+ky)*kw+kx+1)*ncols]
+				r := (ch*kh+ky)*kw + kx
+				row := cols[r*rowStride+off : r*rowStride+off+ncols]
 				idx := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*stride - pad + ky
@@ -118,5 +203,4 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) (*Tensor, error) {
 			}
 		}
 	}
-	return img, nil
 }

@@ -1,0 +1,31 @@
+# benchjson.awk turns `go test -bench -benchmem` output into a JSON array
+# of benchmark records. Lines that are not benchmark results (goos/pkg
+# headers, PASS, ok) are ignored. Each record carries ns/op, B/op,
+# allocs/op, and any custom metric (e.g. GFLOP/s) the benchmark reported.
+#
+# Usage: awk -f scripts/benchjson.awk bench-output.txt
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; metric = ""; metricName = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) ~ /\//) { metric = $i; metricName = $(i+1) }
+    }
+    if (ns == "") next
+    rec = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  rec = rec sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") rec = rec sprintf(", \"allocs_per_op\": %s", allocs)
+    if (metric != "") rec = rec sprintf(", \"%s\": %s", metricName, metric)
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    print "["
+    for (i = 0; i < n; i++) print recs[i] (i < n-1 ? "," : "")
+    print "]"
+}
