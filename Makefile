@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-json clean
+.PHONY: ci lint vet build test race bench bench-smoke bench-gate bench-json clean
 
-# ci is the gate for every change: static analysis, a full build, the
-# test suite under the race detector, and a one-iteration benchmark smoke
-# run so the hot-path benchmarks cannot silently rot.
-ci: vet build race bench-smoke
+# ci is the gate for every change: formatting and static analysis, a
+# full build, the test suite under the race detector, a one-iteration
+# benchmark smoke run so the hot-path benchmarks cannot silently rot,
+# and the allocation-regression gate on the training hot path.
+ci: lint build race bench-smoke bench-gate
+
+# lint fails on unformatted files (gofmt -l) and vet findings.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +34,12 @@ bench:
 # under -short (skips the 1024 GEMM), as a correctness check in ci.
 bench-smoke:
 	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./internal/tensor ./internal/nn
+
+# bench-gate fails when BenchmarkTrainStep allocates more per step than
+# the committed BENCH_tensor.json current value — the PR-2 zero-alloc
+# hot path must not regress.
+bench-gate:
+	GO="$(GO)" sh scripts/benchgate.sh
 
 # bench-json re-measures the training hot-path benchmarks and writes
 # BENCH_tensor.json with the committed pre-optimisation baseline

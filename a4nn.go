@@ -32,6 +32,7 @@ import (
 	"a4nn/internal/dataset"
 	"a4nn/internal/genome"
 	"a4nn/internal/nsga"
+	"a4nn/internal/obs"
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 	"a4nn/internal/simtrain"
@@ -131,6 +132,30 @@ type (
 	// driving a sched pool directly.
 	TaskCtx = sched.TaskCtx
 )
+
+// Observability types (metrics registry, span tracing, run telemetry).
+type (
+	// Observer bundles a metrics registry and a span tracer; set
+	// Config.Obs (or MicroConfig.Obs) to instrument a run. A nil
+	// Observer disables observability at ~one branch per event.
+	Observer = obs.Observer
+	// Telemetry is a run's aggregate telemetry, loaded back from the
+	// spans and metrics files its observer flushed into the commons
+	// directory.
+	Telemetry = obs.Telemetry
+	// GenTelemetry aggregates one generation: device utilisation, queue
+	// wait, retries, and the prediction engine's epoch savings.
+	GenTelemetry = obs.GenTelemetry
+)
+
+// NewObserver returns an observer with a fresh metrics registry and a
+// bounded span tracer. After a run, FlushTo writes spans.jsonl and
+// metrics.json atomically into a directory LoadTelemetry can read back.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// LoadTelemetry loads per-generation telemetry from a directory an
+// Observer flushed to (normally the run's commons directory).
+func LoadTelemetry(dir string) (*Telemetry, error) { return obs.LoadTelemetry(dir) }
 
 // ParseFaultPlan parses the compact CLI fault specification, e.g.
 // "transient=0.05;crash=1@2;slowdown=0.1;seed=7".

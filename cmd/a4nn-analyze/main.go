@@ -14,6 +14,7 @@
 //	a4nn-analyze -store DIR correlate         # accuracy vs FLOPs (§6)
 //	a4nn-analyze -store DIR diversity         # structural similarity (§6)
 //	a4nn-analyze -store DIR gens              # per-generation convergence
+//	a4nn-analyze -store DIR telemetry         # utilisation, queue wait, savings
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
 	"a4nn/internal/lineage"
+	"a4nn/internal/obs"
 )
 
 func main() {
@@ -131,6 +133,14 @@ func main() {
 		}
 		fmt.Print(analyzer.FormatTable(
 			[]string{"generation", "models", "best fitness %", "mean fitness %", "mean MFLOPs"}, rows))
+	case "telemetry":
+		// The observer flushes spans.jsonl and metrics.json next to the
+		// lineage records, so the store directory is the telemetry root.
+		t, err := obs.LoadTelemetry(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("load telemetry: %w (record it with cmd/a4nn -store or -trace)", err))
+		}
+		fmt.Print(analyzer.FormatTelemetry(t))
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

@@ -11,10 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"a4nn/internal/commons"
 	"a4nn/internal/webui"
@@ -38,9 +44,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving data commons %s on http://%s\n", *storeDir, *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
+	}
+	fmt.Printf("serving data commons %s on http://%s\n", *storeDir, ln.Addr())
+
+	// SIGINT/SIGTERM drain in-flight requests before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fatal(err)
+		}
 	}
 }
 

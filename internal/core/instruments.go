@@ -1,0 +1,60 @@
+package core
+
+import (
+	"a4nn/internal/obs"
+)
+
+// Instruments bundles the pre-registered metric handles the training
+// path updates: per-epoch counters and timing, the last-model accuracy
+// gauge, and the prediction engine's stop-epoch / epochs-saved
+// accounting. All methods are nil-safe, so an uninstrumented
+// Orchestrator pays ~one branch per metric event and allocates nothing.
+type Instruments struct {
+	epochs      *obs.Counter
+	models      *obs.Counter
+	epochTime   *obs.Histogram
+	accuracy    *obs.Gauge
+	stopEpoch   *obs.Histogram
+	epochsSaved *obs.Counter
+	terminated  *obs.Counter
+}
+
+// NewInstruments registers the training metrics with the registry. A
+// nil registry returns nil, which disables instrumentation.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		epochs:      reg.Counter("a4nn_train_epochs_total"),
+		models:      reg.Counter("a4nn_train_models_total"),
+		epochTime:   reg.Histogram("a4nn_train_epoch_sim_seconds", obs.SecondsBuckets),
+		accuracy:    reg.Gauge("a4nn_train_last_accuracy_percent"),
+		stopEpoch:   reg.Histogram("a4nn_predictor_stop_epoch", obs.EpochBuckets),
+		epochsSaved: reg.Counter("a4nn_predictor_epochs_saved_total"),
+		terminated:  reg.Counter("a4nn_predictor_terminated_total"),
+	}
+}
+
+// observeEpoch books one completed training epoch.
+func (ins *Instruments) observeEpoch(simSeconds, valAcc float64) {
+	if ins == nil {
+		return
+	}
+	ins.epochs.Inc()
+	ins.epochTime.Observe(simSeconds)
+	ins.accuracy.Set(valAcc)
+}
+
+// observeModel books one completed model training.
+func (ins *Instruments) observeModel(out *TrainOutcome, maxEpochs int) {
+	if ins == nil {
+		return
+	}
+	ins.models.Inc()
+	if out.Terminated {
+		ins.terminated.Inc()
+		ins.stopEpoch.Observe(float64(out.EpochsTrained))
+		ins.epochsSaved.Add(maxEpochs - out.EpochsTrained)
+	}
+}

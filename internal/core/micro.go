@@ -10,6 +10,7 @@ import (
 	"a4nn/internal/genome"
 	"a4nn/internal/nn"
 	"a4nn/internal/nsga"
+	"a4nn/internal/obs"
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 )
@@ -50,11 +51,12 @@ type MicroConfig struct {
 	SnapshotEpochs bool
 	OnModel        func(*ModelResult)
 	ReplayFrom     *commons.Store
-	// Resume / Faults / Retry / TaskTimeoutSeconds as in Config.
+	// Resume / Faults / Retry / TaskTimeoutSeconds / Obs as in Config.
 	Resume             bool
 	Faults             *sched.FaultPlan
 	Retry              sched.RetryPolicy
 	TaskTimeoutSeconds float64
+	Obs                *obs.Observer
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -124,6 +126,7 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	if cfg.Resume {
 		replay = nilableStore(cfg.Store)
 	}
+	ctx = obs.WithTracer(ctx, cfg.Obs.Tracer())
 	r, err := newRunner(runnerParams{
 		engineCfg:   cfg.Engine,
 		maxEpochs:   cfg.MaxEpochs,
@@ -139,6 +142,7 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 		faults:      cfg.Faults,
 		retry:       cfg.Retry,
 		taskTimeout: cfg.TaskTimeoutSeconds,
+		observer:    cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"a4nn/internal/lineage"
+	"a4nn/internal/obs"
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 )
@@ -52,6 +53,9 @@ type Orchestrator struct {
 	// sched.ErrDeadline once the accumulated simulated cost exceeds it,
 	// so the scheduler can re-dispatch the model to another device.
 	DeadlineSeconds float64
+	// Obs, when non-nil, receives per-epoch and per-model metric events;
+	// nil disables instrumentation at the cost of one branch per event.
+	Obs *Instruments
 }
 
 // TrainOutcome summarises one model's training.
@@ -114,8 +118,15 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("core: training %s canceled at epoch %d: %w", recID(rec), e, err)
 		}
+		// The epoch span measures the real epoch duration (training plus
+		// any prediction-engine interaction); the simulated cost travels
+		// as an attribute. With no tracer in ctx this is free.
+		_, espan := obs.StartSpan(ctx, obs.SpanEpoch)
+		espan.SetInt("epoch", e)
 		metrics, err := m.TrainEpoch()
 		if err != nil {
+			espan.SetAttr("error", err.Error())
+			espan.End()
 			return out, &TrainStepError{Epoch: e, ID: recID(rec), Err: err}
 		}
 		out.SimSeconds += epochCost
@@ -125,6 +136,9 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		// scheduler for re-dispatch instead of dragging the generation
 		// barrier — nothing has been committed to the record store yet.
 		if o.DeadlineSeconds > 0 && out.SimSeconds > o.DeadlineSeconds {
+			espan.SetAttr("error", "deadline")
+			espan.SetFloat("sim_s", epochCost)
+			espan.End()
 			return out, sched.Transient("deadline",
 				fmt.Errorf("core: %s at epoch %d: %.1f sim-seconds over %.1f: %w",
 					recID(rec), e, out.SimSeconds, o.DeadlineSeconds, sched.ErrDeadline))
@@ -151,6 +165,10 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 				entry.HasPrediction = true
 			}
 		}
+		espan.SetFloat("val_acc", metrics.ValAccuracy)
+		espan.SetFloat("sim_s", epochCost)
+		espan.End()
+		o.Obs.observeEpoch(epochCost, metrics.ValAccuracy)
 		if rec != nil {
 			rec.Epochs = append(rec.Epochs, entry)
 		}
@@ -183,6 +201,17 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 			rec.TerminationEpoch = len(rec.Epochs)
 		}
 		rec.FinalFitness = out.FinalFitness
+	}
+	o.Obs.observeModel(out, o.MaxEpochs)
+	// Annotate the scheduler's task span (when one encloses this call)
+	// with the training outcome, so per-generation telemetry can report
+	// prediction savings without re-reading lineage records.
+	if ts := obs.SpanFromContext(ctx); ts != nil {
+		ts.SetInt("epochs", out.EpochsTrained)
+		ts.SetInt("saved", o.MaxEpochs-out.EpochsTrained)
+		ts.SetBool("terminated", out.Terminated)
+		ts.SetFloat("fitness", out.FinalFitness)
+		ts.SetFloat("engine_s", out.EngineSeconds)
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"a4nn/internal/genome"
 	"a4nn/internal/lineage"
+	"a4nn/internal/obs"
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 )
@@ -40,6 +41,7 @@ type runner struct {
 	pool         *sched.Pool
 	engine       *predict.Engine
 	engineParams *lineage.EngineParams
+	instruments  *Instruments
 
 	mu              sync.Mutex
 	res             *Result
@@ -72,6 +74,8 @@ type runnerParams struct {
 	faults      *sched.FaultPlan
 	retry       sched.RetryPolicy
 	taskTimeout float64 // per-attempt simulated deadline (0 = none)
+
+	observer *obs.Observer // nil disables metrics and span tracing
 }
 
 // newRunner validates the shared knobs and assembles the runner.
@@ -95,6 +99,7 @@ func newRunner(p runnerParams) (*runner, error) {
 	if err := pool.SetTaskDeadline(p.taskTimeout); err != nil {
 		return nil, err
 	}
+	pool.SetObserver(p.observer)
 	r := &runner{
 		maxEpochs:      p.maxEpochs,
 		beam:           p.beam,
@@ -106,11 +111,19 @@ func newRunner(p runnerParams) (*runner, error) {
 		seed:           p.seed,
 		pool:           pool,
 		res:            &Result{},
+		instruments:    NewInstruments(p.observer.Registry()),
 	}
 	if p.engineCfg != nil {
 		engine, err := predict.NewEngine(*p.engineCfg)
 		if err != nil {
 			return nil, err
+		}
+		if reg := p.observer.Registry(); reg != nil {
+			engine.SetMetrics(predict.Metrics{
+				Predictions:  reg.Counter("a4nn_predict_predictions_total"),
+				FitFailures:  reg.Counter("a4nn_predict_fit_failures_total"),
+				Convergences: reg.Counter("a4nn_predict_convergences_total"),
+			})
 		}
 		r.engine = engine
 		r.engineParams = &lineage.EngineParams{
@@ -200,6 +213,7 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 				MaxEpochs:       r.maxEpochs,
 				SlowFactor:      tc.SlowFactor,
 				DeadlineSeconds: tc.DeadlineSeconds,
+				Obs:             r.instruments,
 			}
 			if r.store != nil && r.snapshotEpochs {
 				orch.Snapshots = r.store.PutSnapshot

@@ -8,6 +8,7 @@ import (
 	"a4nn/internal/genome"
 	"a4nn/internal/lineage"
 	"a4nn/internal/nsga"
+	"a4nn/internal/obs"
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// TaskTimeoutSeconds is the per-attempt simulated deadline; an
 	// attempt exceeding it is re-dispatched to another device (0 = off).
 	TaskTimeoutSeconds float64
+	// Obs, when non-nil, enables observability: the run registers its
+	// metrics (epoch counters, task-latency histograms, predictor
+	// savings) with the observer's registry and records generation /
+	// task / epoch spans into its tracer. nil disables both with ~one
+	// branch of overhead per event — the training hot path stays
+	// allocation-free.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper's evaluation setup (Tables 1 and 2) for
@@ -226,6 +234,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Resume {
 		replay = nilableStore(cfg.Store)
 	}
+	ctx = obs.WithTracer(ctx, cfg.Obs.Tracer())
 	r, err := newRunner(runnerParams{
 		engineCfg:   cfg.Engine,
 		maxEpochs:   cfg.MaxEpochs,
@@ -241,6 +250,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		faults:      cfg.Faults,
 		retry:       cfg.Retry,
 		taskTimeout: cfg.TaskTimeoutSeconds,
+		observer:    cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

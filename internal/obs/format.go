@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot. Le is
+// the rendered upper bound ("+Inf" for the last bucket) so snapshots
+// survive JSON, which cannot encode infinities.
+type BucketCount struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot is a point-in-time view of a whole registry, the payload of
+// the expvar-style JSON endpoint and the metrics.json sink.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values. A nil registry
+// yields an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		cum := uint64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := math.Inf(1)
+			if i < len(h.upper) {
+				le = h.upper[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{Le: bucketLabel(le), Count: cum})
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Series are sorted by name; series sharing a
+// base name (labelled variants) share one TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	lastType := ""
+	typeHeader := func(name, kind string) {
+		if base := baseName(name); base != lastType {
+			emit("# TYPE %s %s\n", base, kind)
+			lastType = base
+		}
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		typeHeader(name, "counter")
+		emit("%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		typeHeader(name, "gauge")
+		emit("%s %s\n", name, formatValue(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		typeHeader(name, "histogram")
+		hs := snap.Histograms[name]
+		for _, b := range hs.Buckets {
+			emit("%s %d\n", bucketSeries(name, b.Le), b.Count)
+		}
+		emit("%s %s\n", suffixSeries(name, "_sum"), formatValue(hs.Sum))
+		emit("%s %d\n", suffixSeries(name, "_count"), hs.Count)
+	}
+	return err
+}
+
+// suffixSeries inserts a name suffix before any embedded label set:
+// (`x{a="b"}`, _sum) → `x_sum{a="b"}`.
+func suffixSeries(name, suffix string) string {
+	base := baseName(name)
+	return base + suffix + name[len(base):]
+}
+
+// bucketSeries renders one cumulative-bucket series name, merging the
+// le label into any label set the series name already carries:
+// (`x`, 5) → `x_bucket{le="5"}`; (`x{a="b"}`, 5) → `x_bucket{a="b",le="5"}`.
+func bucketSeries(name, le string) string {
+	base := baseName(name)
+	labels := name[len(base):]
+	if labels == "" {
+		return fmt.Sprintf(`%s_bucket{le=%q}`, base, le)
+	}
+	return fmt.Sprintf(`%s_bucket{%s,le=%q}`, base, labels[1:len(labels)-1], le)
+}
+
+// formatValue renders a float the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the expvar-style JSON snapshot.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition format:
+// sorted series, shared TYPE headers for labelled variants, cumulative
+// buckets with the le label merged into existing label sets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a4nn_tasks_total").Add(3)
+	r.Gauge(`busy{device="0"}`).Set(2)
+	r.Gauge(`busy{device="1"}`).Set(3)
+	r.Gauge("temp").Set(1.5)
+	h := r.Histogram(`lat{q="hi"}`, []float64{1, 5})
+	for _, v := range []float64{0.5, 3, 10} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a4nn_tasks_total counter
+a4nn_tasks_total 3
+# TYPE busy gauge
+busy{device="0"} 2
+busy{device="1"} 3
+# TYPE temp gauge
+temp 1.5
+# TYPE lat histogram
+lat_bucket{q="hi",le="1"} 1
+lat_bucket{q="hi",le="5"} 2
+lat_bucket{q="hi",le="+Inf"} 3
+lat_sum{q="hi"} 13.5
+lat_count{q="hi"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(0.25)
+	r.Histogram("h", []float64{10}).Observe(4)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c"] != 7 || snap.Gauges["g"] != 0.25 {
+		t.Fatalf("round-tripped snapshot %+v", snap)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 4 || len(hs.Buckets) != 2 {
+		t.Fatalf("round-tripped histogram %+v", hs)
+	}
+	// The +Inf bound survives JSON as a string label.
+	if hs.Buckets[1].Le != "+Inf" || hs.Buckets[1].Count != 1 {
+		t.Fatalf("+Inf bucket %+v", hs.Buckets[1])
+	}
+}
+
+func TestBucketLabelRendering(t *testing.T) {
+	for le, want := range map[float64]string{10: "10", 0.5: "0.5", 2.5: "2.5"} {
+		if got := bucketLabel(le); got != want {
+			t.Fatalf("bucketLabel(%v) = %q, want %q", le, got, want)
+		}
+	}
+}

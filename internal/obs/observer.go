@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// File names of the per-run telemetry sinks, written into the run's
+// commons directory alongside the lineage records.
+const (
+	// SpansFile holds the span ring as JSON Lines.
+	SpansFile = "spans.jsonl"
+	// MetricsFile holds the final registry snapshot as JSON.
+	MetricsFile = "metrics.json"
+)
+
+// Observer bundles a metrics registry and a span tracer — the handle a
+// run threads through the workflow. A nil Observer disables all
+// observability: Registry and Tracer return nil, whose instrument
+// handles and spans are no-ops.
+type Observer struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and a tracer of
+// DefaultSpanCapacity.
+func NewObserver() *Observer {
+	return &Observer{reg: NewRegistry(), tracer: NewTracer(0)}
+}
+
+// Registry returns the metrics registry (nil on a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the span tracer (nil on a nil observer).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// FlushTo atomically writes the spans JSONL and the metrics snapshot
+// into dir (creating it if needed). Each file is written via a temp
+// file renamed into place, so a crash mid-flush can never leave a torn
+// sink next to the lineage records. A nil observer flushes nothing.
+func (o *Observer) FlushTo(dir string) error {
+	if o == nil {
+		return nil
+	}
+	if dir == "" {
+		return fmt.Errorf("obs: empty flush directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("obs: create flush dir: %w", err)
+	}
+	spans, err := o.tracer.MarshalJSONL()
+	if err != nil {
+		return fmt.Errorf("obs: marshal spans: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(dir, SpansFile), spans); err != nil {
+		return fmt.Errorf("obs: write %s: %w", SpansFile, err)
+	}
+	var buf bytes.Buffer
+	if err := o.reg.WriteJSON(&buf); err != nil {
+		return fmt.Errorf("obs: marshal metrics: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(dir, MetricsFile), buf.Bytes()); err != nil {
+		return fmt.Errorf("obs: write %s: %w", MetricsFile, err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// renamed into place.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Handler serves the observer's live endpoints:
+//
+//	GET /metrics       Prometheus text format
+//	GET /metrics.json  expvar-style JSON snapshot
+//	GET /debug/spans   span ring as a JSON array
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", o.Registry().MetricsHandler())
+	mux.Handle("GET /metrics.json", o.Registry().JSONHandler())
+	mux.Handle("GET /debug/spans", o.Tracer().SpansHandler())
+	return mux
+}

@@ -1,0 +1,247 @@
+// Package obs is the workflow's observability layer: a lock-cheap
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// expvar-style JSON and Prometheus text-format output, lightweight span
+// tracing with a bounded in-memory ring and an atomic JSONL sink, and a
+// per-run Telemetry aggregate the analyzer loads to report utilisation,
+// queue wait, and prediction savings per generation.
+//
+// The package is stdlib-only and built for instrumentation of hot
+// paths: every instrument handle is nil-safe, so code instrumented
+// against a disabled (nil) registry pays ~one branch per call and zero
+// allocations — the zero-allocation training hot path stays
+// zero-allocation (see BenchmarkDisabledObs).
+//
+// Metric names may embed Prometheus labels verbatim, e.g.
+// `a4nn_sched_device_busy_sim_seconds{device="2"}`; the text formatter
+// groups series of the same base name under a single TYPE header.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds v to the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed cumulative bucket layout
+// chosen at registration. All methods are safe for concurrent use and
+// are no-ops on a nil receiver. Observations are lock-free: one atomic
+// add for the bucket, one for the count, one CAS loop for the sum.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Common fixed bucket layouts.
+var (
+	// SecondsBuckets spans sub-second engine interactions to multi-minute
+	// simulated epochs.
+	SecondsBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+	// EpochBuckets spans the paper's 25-epoch training budget; used for
+	// the predictor's stop-epoch distribution.
+	EpochBuckets = []float64{2, 4, 6, 8, 10, 12, 16, 20, 25}
+)
+
+// Registry holds named instruments. Lookups take a mutex; handles are
+// meant to be resolved once at setup and then updated lock-free on the
+// hot path. All methods are nil-safe: on a nil registry they return nil
+// handles, whose updates are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering if needed) the counter with the name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the gauge with the name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the histogram with the
+// name. The bucket layout is fixed by the first registration; later
+// calls return the existing histogram regardless of buckets. Bounds are
+// sorted ascending and deduplicated; an empty layout falls back to
+// SecondsBuckets.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if len(buckets) == 0 {
+			buckets = SecondsBuckets
+		}
+		upper := append([]float64(nil), buckets...)
+		sort.Float64s(upper)
+		dedup := upper[:0]
+		for i, b := range upper {
+			if i == 0 || b != upper[i-1] {
+				dedup = append(dedup, b)
+			}
+		}
+		h = &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// baseName strips an embedded Prometheus label set from a series name:
+// `x{device="0"}` → `x`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bucketLabel renders a histogram upper bound the way Prometheus does.
+func bucketLabel(le float64) string {
+	if math.IsInf(le, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(le, 'g', -1, 64)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted with a duplicate: registration sorts and dedups.
+	h := r.Histogram("h", []float64{5, 1, 5})
+	for _, v := range []float64{0.5, 1, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 14.5 {
+		t.Fatalf("count %d sum %v, want 4 and 14.5", h.Count(), h.Sum())
+	}
+	hs := r.Snapshot().Histograms["h"]
+	want := []BucketCount{{"1", 2}, {"5", 3}, {"+Inf", 4}}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets %+v, want %+v", hs.Buckets, want)
+	}
+	for i, b := range want {
+		if hs.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, hs.Buckets[i], b)
+		}
+	}
+	// The layout is fixed by the first registration.
+	if r.Histogram("h", []float64{99}) != h {
+		t.Fatal("re-registration returned a different histogram")
+	}
+	// Empty layouts fall back to SecondsBuckets.
+	if got := len(r.Histogram("s", nil).upper); got != len(SecondsBuckets) {
+		t.Fatalf("default layout has %d bounds, want %d", got, len(SecondsBuckets))
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instruments allocated %v per run, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestConcurrentHammering drives every instrument kind, including the
+// registry lookups themselves, from many goroutines; run with -race.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("busy")
+			h := r.Histogram("lat", []float64{1, 10})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	const total = workers * iters
+	if got := r.Counter("hits").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("busy").Value(); got != total {
+		t.Fatalf("gauge = %v, want %v", got, float64(total))
+	}
+	h := r.Histogram("lat", nil)
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if last := hs.Buckets[len(hs.Buckets)-1]; last.Count != total {
+		t.Fatalf("+Inf bucket = %d, want %d", last.Count, total)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Span names and attribute keys the instrumented workflow emits; the
+// telemetry loader keys off them.
+const (
+	SpanGeneration = "generation"
+	SpanTask       = "task"
+	SpanEpoch      = "epoch"
+)
+
+// GenTelemetry aggregates one generation's spans: the scheduler
+// accounting from its generation span plus the training/prediction
+// accounting summed over its task spans.
+type GenTelemetry struct {
+	Generation int `json:"generation"`
+	// Tasks counts the generation's training tasks.
+	Tasks int `json:"tasks"`
+	// WallSeconds, BusySeconds, and IdleSeconds are the generation's
+	// simulated makespan, summed device busy time, and barrier idle time.
+	WallSeconds float64 `json:"wall_seconds"`
+	BusySeconds float64 `json:"busy_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	// Utilisation is BusySeconds / (BusySeconds + IdleSeconds); 0 when
+	// the generation did no work.
+	Utilisation float64 `json:"utilisation"`
+	// MeanQueueWaitSeconds averages, across task dispatches, the
+	// simulated time each task waited behind the FIFO queue before its
+	// device picked it up.
+	MeanQueueWaitSeconds float64 `json:"mean_queue_wait_seconds"`
+	// Retries and Faults are the generation's re-dispatches and fault
+	// events.
+	Retries int `json:"retries"`
+	Faults  int `json:"faults"`
+	// EpochsTrained and EpochsSaved sum the epochs the generation's
+	// models actually trained and the epochs the prediction engine cut
+	// from their full budgets. Terminated counts early-stopped models.
+	EpochsTrained int `json:"epochs_trained"`
+	EpochsSaved   int `json:"epochs_saved"`
+	Terminated    int `json:"terminated"`
+}
+
+// Telemetry is the per-run aggregate loaded back from a run's commons
+// directory — the analyzer's view of the spans JSONL and metrics
+// snapshot the workflow flushed.
+type Telemetry struct {
+	// Spans is the number of spans loaded; DroppedToRing is how many the
+	// bounded ring had discarded before the flush (0 when the run fit).
+	Spans int `json:"spans"`
+	// Generations holds one aggregate per NAS generation, ascending.
+	Generations []GenTelemetry `json:"generations"`
+	// EpochsTrained, EpochsSaved and Terminated are run-level sums.
+	EpochsTrained int `json:"epochs_trained"`
+	EpochsSaved   int `json:"epochs_saved"`
+	Terminated    int `json:"terminated"`
+	// Metrics is the final registry snapshot, when metrics.json was
+	// present (zero-valued otherwise).
+	Metrics Snapshot `json:"metrics"`
+}
+
+// ReadSpans parses a spans JSONL file.
+func ReadSpans(path string) ([]SpanRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var spans []SpanRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var s SpanRecord
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("obs: %s line %d: %w", path, line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read %s: %w", path, err)
+	}
+	return spans, nil
+}
+
+// LoadTelemetry loads a run's telemetry from the directory its observer
+// flushed to (normally the commons root): spans from SpansFile and,
+// when present, the final metrics snapshot from MetricsFile.
+func LoadTelemetry(dir string) (*Telemetry, error) {
+	spans, err := ReadSpans(filepath.Join(dir, SpansFile))
+	if err != nil {
+		return nil, err
+	}
+	t := AggregateSpans(spans)
+	if data, err := os.ReadFile(filepath.Join(dir, MetricsFile)); err == nil {
+		if err := json.Unmarshal(data, &t.Metrics); err != nil {
+			return nil, fmt.Errorf("obs: %s: %w", MetricsFile, err)
+		}
+	}
+	return t, nil
+}
+
+// AggregateSpans computes the per-generation telemetry from a span set.
+func AggregateSpans(spans []SpanRecord) *Telemetry {
+	t := &Telemetry{Spans: len(spans)}
+	gens := make(map[int]*GenTelemetry)
+	waitSum := make(map[int]float64)
+	waitN := make(map[int]int)
+	at := func(gen int) *GenTelemetry {
+		g, ok := gens[gen]
+		if !ok {
+			g = &GenTelemetry{Generation: gen}
+			gens[gen] = g
+		}
+		return g
+	}
+	for _, s := range spans {
+		switch s.Name {
+		case SpanGeneration:
+			g := at(s.IntAttr("gen"))
+			g.Tasks = s.IntAttr("tasks")
+			g.WallSeconds = s.FloatAttr("wall_s")
+			g.BusySeconds = s.FloatAttr("busy_s")
+			g.IdleSeconds = s.FloatAttr("idle_s")
+			g.Retries = s.IntAttr("retries")
+			g.Faults = s.IntAttr("faults")
+		case SpanTask:
+			gen := s.IntAttr("gen")
+			g := at(gen)
+			g.EpochsTrained += s.IntAttr("epochs")
+			g.EpochsSaved += s.IntAttr("saved")
+			if s.BoolAttr("terminated") {
+				g.Terminated++
+			}
+			waitSum[gen] += s.FloatAttr("queue_wait_s")
+			waitN[gen]++
+		}
+	}
+	for gen, g := range gens {
+		if n := waitN[gen]; n > 0 {
+			g.MeanQueueWaitSeconds = waitSum[gen] / float64(n)
+		}
+		if total := g.BusySeconds + g.IdleSeconds; total > 0 {
+			g.Utilisation = g.BusySeconds / total
+		}
+		t.EpochsTrained += g.EpochsTrained
+		t.EpochsSaved += g.EpochsSaved
+		t.Terminated += g.Terminated
+		t.Generations = append(t.Generations, *g)
+	}
+	sort.Slice(t.Generations, func(i, j int) bool {
+		return t.Generations[i].Generation < t.Generations[j].Generation
+	})
+	return t
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// emitRunSpans records the span shapes the instrumented workflow emits:
+// one generation span enclosing two task spans, with the simulated-time
+// accounting as attributes.
+func emitRunSpans(o *Observer) {
+	ctx := WithTracer(context.Background(), o.Tracer())
+	gctx, gen := StartSpan(ctx, SpanGeneration)
+	for i, saved := range []int{5, 0} {
+		_, task := StartSpan(gctx, SpanTask)
+		task.SetInt("gen", 0)
+		task.SetInt("task", i)
+		task.SetFloat("queue_wait_s", float64(i*10))
+		task.SetInt("epochs", 25-saved)
+		task.SetInt("saved", saved)
+		task.SetBool("terminated", saved > 0)
+		task.End()
+	}
+	gen.SetInt("gen", 0)
+	gen.SetInt("tasks", 2)
+	gen.SetFloat("wall_s", 300)
+	gen.SetFloat("busy_s", 540)
+	gen.SetFloat("idle_s", 60)
+	gen.SetInt("retries", 1)
+	gen.SetInt("faults", 2)
+	gen.End()
+}
+
+func TestFlushLoadTelemetryRoundTrip(t *testing.T) {
+	o := NewObserver()
+	o.Registry().Counter("a4nn_train_epochs_total").Add(45)
+	emitRunSpans(o)
+
+	dir := t.TempDir()
+	if err := o.FlushTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files may survive the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || strings.Contains(strings.Join(names, " "), ".tmp-") {
+		t.Fatalf("flush dir contents %v, want exactly [metrics.json spans.jsonl]", names)
+	}
+
+	tel, err := LoadTelemetry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Spans != 3 || len(tel.Generations) != 1 {
+		t.Fatalf("telemetry spans=%d generations=%d", tel.Spans, len(tel.Generations))
+	}
+	g := tel.Generations[0]
+	if g.Tasks != 2 || g.WallSeconds != 300 || g.Retries != 1 || g.Faults != 2 {
+		t.Fatalf("generation aggregate %+v", g)
+	}
+	if want := 540.0 / 600.0; math.Abs(g.Utilisation-want) > 1e-12 {
+		t.Fatalf("utilisation %v, want %v", g.Utilisation, want)
+	}
+	if g.MeanQueueWaitSeconds != 5 {
+		t.Fatalf("mean queue wait %v, want 5", g.MeanQueueWaitSeconds)
+	}
+	if g.EpochsTrained != 45 || g.EpochsSaved != 5 || g.Terminated != 1 {
+		t.Fatalf("savings %+v", g)
+	}
+	if tel.EpochsTrained != 45 || tel.EpochsSaved != 5 || tel.Terminated != 1 {
+		t.Fatalf("run-level sums %+v", tel)
+	}
+	if tel.Metrics.Counters["a4nn_train_epochs_total"] != 45 {
+		t.Fatalf("metrics snapshot %+v", tel.Metrics.Counters)
+	}
+}
+
+func TestReadSpansRejectsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SpansFile)
+	if err := os.WriteFile(path, []byte("{\"id\":1,\"name\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpans(path); err == nil {
+		t.Fatal("want an error for a malformed line")
+	}
+}
+
+func TestAggregateSpansEmpty(t *testing.T) {
+	tel := AggregateSpans(nil)
+	if tel.Spans != 0 || len(tel.Generations) != 0 {
+		t.Fatalf("empty aggregate %+v", tel)
+	}
+}
+
+func TestObserverHandlerEndpoints(t *testing.T) {
+	o := NewObserver()
+	o.Registry().Counter("a4nn_tasks_total").Inc()
+	emitRunSpans(o)
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "a4nn_tasks_total 1") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics.json content type %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a4nn_tasks_total"] != 1 {
+		t.Fatalf("/metrics.json counters %+v", snap.Counters)
+	}
+
+	body, _ = get("/debug/spans")
+	var spans struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans.Spans) != 3 || spans.Dropped != 0 {
+		t.Fatalf("/debug/spans returned %d spans, %d dropped", len(spans.Spans), spans.Dropped)
+	}
+}
+
+func TestNilObserver(t *testing.T) {
+	var o *Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer must hand out nil components")
+	}
+	if err := o.FlushTo(t.TempDir()); err != nil {
+		t.Fatalf("nil observer flush: %v", err)
+	}
+}

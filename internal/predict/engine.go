@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"a4nn/internal/fit"
+	"a4nn/internal/obs"
 )
 
 // Config mirrors Table 1 of the paper: the prediction engine's
@@ -89,7 +90,21 @@ func (c Config) Validate() error {
 // with the caller, matching Algorithm 1 where H and P are owned by the
 // training loop.
 type Engine struct {
-	cfg Config
+	cfg     Config
+	metrics Metrics
+}
+
+// Metrics holds the engine's nil-safe instrument handles; the zero
+// value disables instrumentation. Handles are updated atomically, so
+// one Metrics set serves every goroutine sharing the engine.
+type Metrics struct {
+	// Predictions counts successful fits; FitFailures counts fit
+	// attempts that produced no usable prediction.
+	Predictions *obs.Counter
+	FitFailures *obs.Counter
+	// Convergences counts networks whose prediction window converged
+	// (one per Tracker, at the convergence transition).
+	Convergences *obs.Counter
 }
 
 // NewEngine validates cfg and returns an engine.
@@ -99,6 +114,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	return &Engine{cfg: cfg}, nil
 }
+
+// SetMetrics installs instrument handles. Call before the engine is
+// shared across training goroutines.
+func (e *Engine) SetMetrics(m Metrics) { e.metrics = m }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -130,6 +149,7 @@ func (e *Engine) PredictAt(xs, ys []float64, x float64) (pred float64, ok bool) 
 	}
 	if fam.NumParams() == 1 && fam.Name() == (LastValue{}).Name() {
 		// Trivial family: no fit required.
+		e.metrics.Predictions.Inc()
 		return fam.Eval(fam.InitialGuess(xs, ys), x), true
 	}
 	lo, hi := fam.Bounds()
@@ -177,12 +197,15 @@ func (e *Engine) PredictAt(xs, ys []float64, x float64) (pred float64, ok bool) 
 		}
 	}
 	if bestParams == nil {
+		e.metrics.FitFailures.Inc()
 		return 0, false
 	}
 	v := fam.Eval(bestParams, x)
 	if math.IsNaN(v) || math.IsInf(v, 0) {
+		e.metrics.FitFailures.Inc()
 		return 0, false
 	}
+	e.metrics.Predictions.Inc()
 	return v, true
 }
 
@@ -243,6 +266,9 @@ func (t *Tracker) Observe(fitness float64) (converged bool) {
 		t.PredEpochs = append(t.PredEpochs, len(t.H))
 	}
 	t.converged = t.engine.Converged(t.P)
+	if t.converged {
+		t.engine.metrics.Convergences.Inc()
+	}
 	return t.converged
 }
 

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"a4nn/internal/obs"
 )
 
 // Device models one accelerator.
@@ -98,6 +100,54 @@ type Pool struct {
 	plan     *FaultPlan
 	retry    RetryPolicy
 	deadline float64 // per-attempt simulated deadline (0 = none)
+	obsv     poolObs
+}
+
+// poolObs holds the pool's pre-registered metric handles. The zero
+// value (all-nil handles) disables instrumentation: every update is a
+// nil-safe no-op costing one branch.
+type poolObs struct {
+	tasks       *obs.Counter
+	dispatches  *obs.Counter
+	retries     *obs.Counter
+	faults      *obs.Counter
+	stragglers  *obs.Counter
+	generations *obs.Counter
+	taskLatency *obs.Histogram
+	queueWait   *obs.Histogram
+	genWall     *obs.Gauge
+	idle        *obs.Gauge
+	devBusy     []*obs.Gauge
+}
+
+// SetObserver registers the pool's metrics (dispatch/retry/straggler
+// counters, per-device busy gauges, task-latency and queue-wait
+// histograms, all in simulated seconds) with the observer's registry.
+// A nil observer removes instrumentation. Call before RunGeneration.
+func (p *Pool) SetObserver(o *obs.Observer) {
+	reg := o.Registry()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if reg == nil {
+		p.obsv = poolObs{}
+		return
+	}
+	p.obsv = poolObs{
+		tasks:       reg.Counter("a4nn_sched_tasks_total"),
+		dispatches:  reg.Counter("a4nn_sched_dispatches_total"),
+		retries:     reg.Counter("a4nn_sched_retries_total"),
+		faults:      reg.Counter("a4nn_sched_faults_total"),
+		stragglers:  reg.Counter("a4nn_sched_stragglers_total"),
+		generations: reg.Counter("a4nn_sched_generations_total"),
+		taskLatency: reg.Histogram("a4nn_sched_task_sim_seconds", obs.SecondsBuckets),
+		queueWait:   reg.Histogram("a4nn_sched_queue_wait_sim_seconds", obs.SecondsBuckets),
+		genWall:     reg.Gauge("a4nn_sched_generation_wall_sim_seconds"),
+		idle:        reg.Gauge("a4nn_sched_idle_sim_seconds_total"),
+	}
+	for _, d := range p.devices {
+		p.obsv.devBusy = append(p.obsv.devBusy,
+			reg.Gauge(fmt.Sprintf(`a4nn_sched_device_busy_sim_seconds{device="%d"}`, d.ID)))
+	}
 }
 
 // NewPool creates a pool of n identical devices. throughput ≤ 0 selects
@@ -221,6 +271,8 @@ type genRun struct {
 	tasks []Task
 	ctx   context.Context
 
+	obsv poolObs // snapshot of the pool's handles for this generation
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	queue      []*attemptMeta
@@ -275,16 +327,22 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 			aliveCount++
 		}
 	}
+	obsv := p.obsv
 	p.mu.Unlock()
 	if aliveCount == 0 {
 		return nil, fmt.Errorf("sched: no alive devices (all %d crashed)", n)
 	}
+
+	// The generation span parents every task span dispatched below; its
+	// attributes carry the simulated accounting for telemetry.
+	ctx, gspan := obs.StartSpan(ctx, obs.SpanGeneration)
 
 	g := &genRun{
 		pool:       p,
 		gen:        gen,
 		tasks:      tasks,
 		ctx:        ctx,
+		obsv:       obsv,
 		remaining:  len(tasks),
 		done:       make([]bool, len(tasks)),
 		durations:  make([]float64, len(tasks)),
@@ -365,8 +423,10 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 		}
 	}
 	p.wall += rep.WallSeconds
+	busy := 0.0
 	for _, b := range rep.DeviceBusy {
 		p.busy += b
+		busy += b
 	}
 	p.idle += rep.IdleSeconds
 	p.tasks += len(tasks)
@@ -374,6 +434,25 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 	p.faults += rep.Faults
 	p.lost += rep.LostSeconds
 	p.mu.Unlock()
+
+	obsv.generations.Inc()
+	obsv.tasks.Add(len(tasks))
+	obsv.genWall.Set(rep.WallSeconds)
+	obsv.idle.Add(rep.IdleSeconds)
+	for i, b := range rep.DeviceBusy {
+		if i < len(obsv.devBusy) {
+			obsv.devBusy[i].Add(b)
+		}
+	}
+	gspan.SetInt("gen", gen)
+	gspan.SetInt("tasks", len(tasks))
+	gspan.SetFloat("wall_s", rep.WallSeconds)
+	gspan.SetFloat("busy_s", busy)
+	gspan.SetFloat("idle_s", rep.IdleSeconds)
+	gspan.SetFloat("lost_s", rep.LostSeconds)
+	gspan.SetInt("retries", rep.Retries)
+	gspan.SetInt("faults", rep.Faults)
+	gspan.End()
 	return rep, err
 }
 
@@ -389,6 +468,9 @@ func (g *genRun) work(dev Device) {
 	if p.plan != nil {
 		slow = p.plan.slowFactor(g.gen, dev.ID)
 	}
+	if slow > 1 {
+		g.obsv.stragglers.Inc()
+	}
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -400,6 +482,7 @@ func (g *genRun) work(dev Device) {
 			// gone; no in-flight work is lost in that case.
 			if willCrash && g.aliveCount() > 1 {
 				g.faults++
+				g.obsv.faults.Inc()
 				g.markDead(dev)
 			}
 			return
@@ -419,6 +502,8 @@ func (g *genRun) work(dev Device) {
 			g.lost += loss
 			g.faults++
 			g.retries++
+			g.obsv.faults.Inc()
+			g.obsv.retries.Inc()
 			att.excludeDev(dev.ID)
 			g.queue = append([]*attemptMeta{att}, g.queue...)
 			g.markDead(dev)
@@ -436,8 +521,24 @@ func (g *genRun) work(dev Device) {
 			continue
 		}
 
+		start := g.vt[dev.ID]
+		if att.notBefore > start {
+			start = att.notBefore
+		}
+		// The task span parents the orchestrator's epoch spans (via
+		// tc.Ctx) and the orchestrator annotates it with epochs trained
+		// and saved; queue_wait_s is the simulated time the task waited
+		// behind the FIFO queue.
+		tctx, tspan := obs.StartSpan(g.ctx, obs.SpanTask)
+		tspan.SetInt("gen", g.gen)
+		tspan.SetInt("task", att.task)
+		tspan.SetInt("attempt", att.attempt)
+		tspan.SetInt("device", dev.ID)
+		tspan.SetFloat("queue_wait_s", start)
+		g.obsv.dispatches.Inc()
+		g.obsv.queueWait.Observe(start)
 		tc := TaskCtx{
-			Ctx:             g.ctx,
+			Ctx:             tctx,
 			Dev:             dev,
 			Generation:      g.gen,
 			Task:            att.task,
@@ -445,12 +546,13 @@ func (g *genRun) work(dev Device) {
 			SlowFactor:      slow,
 			DeadlineSeconds: p.deadline,
 		}
-		start := g.vt[dev.ID]
-		if att.notBefore > start {
-			start = att.notBefore
-		}
 		g.mu.Unlock()
 		dur, err := g.tasks[att.task](tc)
+		tspan.SetFloat("sim_s", dur)
+		if err != nil {
+			tspan.SetAttr("error", err.Error())
+		}
+		tspan.End()
 		g.mu.Lock()
 		completed++
 		g.busyDev[dev.ID] += dur
@@ -462,6 +564,7 @@ func (g *genRun) work(dev Device) {
 			g.sumDur += dur
 			g.nDur++
 			g.remaining--
+			g.obsv.taskLatency.Observe(dur)
 			if g.remaining == 0 {
 				g.cond.Broadcast()
 			}
@@ -484,6 +587,7 @@ func (g *genRun) work(dev Device) {
 func (g *genRun) fail(att *attemptMeta, dev Device, cost float64, cause error) {
 	g.faults++
 	g.lost += cost
+	g.obsv.faults.Inc()
 	maxAttempts := g.pool.retry.maxAttempts(g.pool.plan != nil)
 	if att.attempt >= maxAttempts || g.budget == 0 {
 		g.errs[att.task] = fmt.Errorf("sched: task %d failed after %d attempt(s): %w", att.task, att.attempt, cause)
@@ -496,6 +600,7 @@ func (g *genRun) fail(att *attemptMeta, dev Device, cost float64, cause error) {
 		g.budget--
 	}
 	g.retries++
+	g.obsv.retries.Inc()
 	att.attempt++
 	att.excludeDev(dev.ID)
 	att.notBefore = g.vt[dev.ID] + g.pool.retry.backoff(att.attempt)

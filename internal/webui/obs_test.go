@@ -1,0 +1,59 @@
+package webui
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"a4nn/internal/obs"
+)
+
+func TestObserverEndpoints(t *testing.T) {
+	srv, err := New(testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver()
+	o.Registry().Counter("a4nn_train_epochs_total").Add(9)
+	srv.SetObserver(o)
+	srv.SetObserver(o) // repeated call must not re-register (would panic)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "a4nn_train_epochs_total 9") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	code, body = get(t, ts.URL+"/metrics.json")
+	if code != 200 || !strings.Contains(body, `"a4nn_train_epochs_total": 9`) {
+		t.Fatalf("/metrics.json: %d\n%s", code, body)
+	}
+	code, body = get(t, ts.URL+"/debug/spans")
+	if code != 200 || !strings.Contains(body, `"spans"`) {
+		t.Fatalf("/debug/spans: %d\n%s", code, body)
+	}
+	// The commons API still works alongside the observer routes.
+	if code, _ := get(t, ts.URL+"/api/records"); code != 200 {
+		t.Fatalf("/api/records: %d", code)
+	}
+}
+
+func TestNoObserverEndpointsByDefault(t *testing.T) {
+	ts := newTestServer(t)
+	if code, _ := get(t, ts.URL+"/metrics"); code != 404 {
+		t.Fatalf("/metrics without observer: %d, want 404", code)
+	}
+}
+
+func TestSetObserverNil(t *testing.T) {
+	srv, err := New(testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetObserver(nil) // must not panic or mount anything
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	if code, _ := get(t, ts.URL+"/metrics"); code != 404 {
+		t.Fatalf("/metrics after SetObserver(nil): %d, want 404", code)
+	}
+}

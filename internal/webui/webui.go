@@ -12,6 +12,13 @@
 //	GET /api/records/{id}/dot   Graphviz rendering of the architecture
 //	GET /api/summary?beam=low   aggregate statistics
 //	GET /api/pareto?beam=low    Pareto frontier of the stored models
+//
+// With SetObserver the server additionally exposes the live
+// observability endpoints of a running search:
+//
+//	GET /metrics        Prometheus text format
+//	GET /metrics.json   expvar-style JSON snapshot
+//	GET /debug/spans    bounded span ring as JSON
 package webui
 
 import (
@@ -26,12 +33,14 @@ import (
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
 	"a4nn/internal/lineage"
+	"a4nn/internal/obs"
 )
 
 // Server wraps a commons store with HTTP handlers.
 type Server struct {
 	store *commons.Store
 	mux   *http.ServeMux
+	obsOn bool
 }
 
 // New builds a server over the store.
@@ -47,6 +56,20 @@ func New(store *commons.Store) (*Server, error) {
 	s.mux.HandleFunc("GET /api/pareto", s.handlePareto)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	return s, nil
+}
+
+// SetObserver mounts the live observability endpoints (/metrics,
+// /metrics.json, /debug/spans) backed by the observer of a running
+// search. Call at most once, before serving; a nil observer or a
+// repeated call is a no-op.
+func (s *Server) SetObserver(o *obs.Observer) {
+	if o == nil || s.obsOn {
+		return
+	}
+	s.obsOn = true
+	s.mux.Handle("GET /metrics", o.Registry().MetricsHandler())
+	s.mux.Handle("GET /metrics.json", o.Registry().JSONHandler())
+	s.mux.Handle("GET /debug/spans", o.Tracer().SpansHandler())
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,0 +1,36 @@
+#!/bin/sh
+# benchgate.sh guards the zero-allocation training hot path: it re-runs
+# BenchmarkTrainStep and fails when allocs/op exceeds the committed
+# "current" value in BENCH_tensor.json. Run via `make bench-gate`.
+set -eu
+
+budget=$(awk '/"current"/ { c = 1 }
+c && /BenchmarkTrainStep/ {
+    if (match($0, /"allocs_per_op": *[0-9]+/)) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/.*: */, "", s)
+        print s
+        exit
+    }
+}' BENCH_tensor.json)
+if [ -z "$budget" ]; then
+    echo "benchgate: no current BenchmarkTrainStep allocs_per_op in BENCH_tensor.json" >&2
+    exit 1
+fi
+
+out=$("${GO:-go}" test -run '^$' -bench 'BenchmarkTrainStep$' -benchmem ./internal/nn)
+echo "$out"
+measured=$(echo "$out" | awk '/^BenchmarkTrainStep/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$measured" ]; then
+    echo "benchgate: benchmark reported no allocs/op" >&2
+    exit 1
+fi
+
+if [ "$measured" -gt "$budget" ]; then
+    echo "benchgate: FAIL — BenchmarkTrainStep allocates $measured/op, budget is $budget/op" >&2
+    echo "benchgate: if the regression is intended, re-baseline with 'make bench-json'" >&2
+    exit 1
+fi
+echo "benchgate: ok — BenchmarkTrainStep $measured allocs/op within budget $budget"
