@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race bench bench-smoke bench-gate bench-json clean
+.PHONY: ci lint vet build test race race-broker bench bench-smoke bench-gate bench-json clean
 
 # ci is the gate for every change: formatting and static analysis, a
-# full build, the test suite under the race detector, a one-iteration
-# benchmark smoke run so the hot-path benchmarks cannot silently rot,
-# and the allocation-regression gate on the training hot path.
-ci: lint build race bench-smoke bench-gate
+# full build, the test suite under the race detector (plus a dedicated
+# high-iteration pass over the event broker, the one component built
+# for hundreds of concurrent subscribers), a one-iteration benchmark
+# smoke run so the hot-path benchmarks cannot silently rot, and the
+# allocation-regression gates on the training hot path.
+ci: lint build race race-broker bench-smoke bench-gate
 
 # lint fails on unformatted files (gofmt -l) and vet findings.
 lint: vet
@@ -27,6 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-broker stresses the event fanout specifically: repeated runs of
+# the broker tests under the race detector, since its eviction path
+# only races under unlucky publisher/subscriber interleavings.
+race-broker:
+	$(GO) test -race -run Broker -count 5 ./internal/obs
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
@@ -37,7 +45,8 @@ bench-smoke:
 
 # bench-gate fails when BenchmarkTrainStep allocates more per step than
 # the committed BENCH_tensor.json current value — the PR-2 zero-alloc
-# hot path must not regress.
+# hot path must not regress — or when the disabled per-layer profiler
+# costs any allocations at all.
 bench-gate:
 	GO="$(GO)" sh scripts/benchgate.sh
 

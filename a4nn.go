@@ -31,6 +31,7 @@ import (
 	"a4nn/internal/core"
 	"a4nn/internal/dataset"
 	"a4nn/internal/genome"
+	"a4nn/internal/nn"
 	"a4nn/internal/nsga"
 	"a4nn/internal/obs"
 	"a4nn/internal/predict"
@@ -133,11 +134,12 @@ type (
 	TaskCtx = sched.TaskCtx
 )
 
-// Observability types (metrics registry, span tracing, run telemetry).
+// Observability types (metrics registry, span tracing, run telemetry,
+// event journal).
 type (
-	// Observer bundles a metrics registry and a span tracer; set
-	// Config.Obs (or MicroConfig.Obs) to instrument a run. A nil
-	// Observer disables observability at ~one branch per event.
+	// Observer bundles a metrics registry, a span tracer, and an event
+	// journal; set Config.Obs (or MicroConfig.Obs) to instrument a run.
+	// A nil Observer disables observability at ~one branch per event.
 	Observer = obs.Observer
 	// Telemetry is a run's aggregate telemetry, loaded back from the
 	// spans and metrics files its observer flushed into the commons
@@ -146,12 +148,45 @@ type (
 	// GenTelemetry aggregates one generation: device utilisation, queue
 	// wait, retries, and the prediction engine's epoch savings.
 	GenTelemetry = obs.GenTelemetry
+	// Journal is a run's structured event stream: every emit is appended
+	// to events.jsonl (when a file is attached) and fanned out to live
+	// subscribers without ever blocking the search.
+	Journal = obs.Journal
+	// Event is one structured journal record (generation progress, task
+	// dispatch/fault, epoch reports, prediction terminations, Pareto
+	// front updates, ...); consumers switch on Event.Type.
+	Event = obs.Event
+	// EventSubscriber is one live receiver on a journal's broker.
+	EventSubscriber = obs.Subscriber
 )
 
-// NewObserver returns an observer with a fresh metrics registry and a
-// bounded span tracer. After a run, FlushTo writes spans.jsonl and
-// metrics.json atomically into a directory LoadTelemetry can read back.
+// EventsFile is the journal's file name inside the telemetry directory.
+const EventsFile = obs.EventsFile
+
+// ReadEvents loads an events.jsonl journal, skipping a torn final line.
+func ReadEvents(path string) ([]Event, error) { return obs.ReadEvents(path) }
+
+// NewObserver returns an observer with a fresh metrics registry, a
+// bounded span tracer, and an event journal. After a run, FlushTo
+// writes spans.jsonl and metrics.json atomically into a directory
+// LoadTelemetry can read back; attach Journal().OpenFile to also
+// persist the event stream.
 func NewObserver() *Observer { return obs.NewObserver() }
+
+// EnableLayerProfiler installs the process-wide per-layer training
+// profiler: every decoded network's forward/backward wall time and
+// FLOPs are accounted per layer kind into the observer's registry
+// (a4nn_nn_layer_* series), along with the tensor GEMM kernel totals.
+// Disabled (the default) the hooks cost one atomic load per pass and
+// zero allocations.
+func EnableLayerProfiler(o *Observer) { nn.SetProfiler(nn.NewProfiler(o.Registry())) }
+
+// DisableLayerProfiler uninstalls the per-layer profiler.
+func DisableLayerProfiler() { nn.SetProfiler(nil) }
+
+// SyncLayerProfiler copies the tensor kernel totals into the profiler's
+// gauges; call before flushing metrics. No-op when profiling is off.
+func SyncLayerProfiler() { nn.ActiveProfiler().SyncKernelCounters() }
 
 // LoadTelemetry loads per-generation telemetry from a directory an
 // Observer flushed to (normally the run's commons directory).

@@ -15,6 +15,7 @@
 //	a4nn-analyze -store DIR diversity         # structural similarity (§6)
 //	a4nn-analyze -store DIR gens              # per-generation convergence
 //	a4nn-analyze -store DIR telemetry         # utilisation, queue wait, savings
+//	a4nn-analyze -store DIR profile           # per-layer time and FLOP breakdown
 package main
 
 import (
@@ -141,6 +142,12 @@ func main() {
 			fatal(fmt.Errorf("load telemetry: %w (record it with cmd/a4nn -store or -trace)", err))
 		}
 		fmt.Print(analyzer.FormatTelemetry(t))
+	case "profile":
+		t, err := obs.LoadTelemetry(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("load telemetry: %w (record it with cmd/a4nn -profile-layers -store)", err))
+		}
+		fmt.Print(analyzer.FormatLayerProfile(&t.Metrics))
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

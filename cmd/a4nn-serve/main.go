@@ -6,6 +6,7 @@
 // Usage:
 //
 //	a4nn-serve -store ./runs -addr :8080
+//	a4nn-serve -store ./runs -follow        # + live /events SSE and /dashboard
 //	curl localhost:8080/api/summary
 //	curl localhost:8080/api/records/<id>/dot | dot -Tsvg > model.svg
 package main
@@ -19,10 +20,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"a4nn/internal/commons"
+	"a4nn/internal/obs"
 	"a4nn/internal/webui"
 )
 
@@ -30,10 +33,11 @@ func main() {
 	var (
 		storeDir = flag.String("store", "", "data commons directory (required)")
 		addr     = flag.String("addr", "localhost:8080", "listen address")
+		follow   = flag.Bool("follow", false, "tail the store's events.jsonl and stream it live on /events and /dashboard")
 	)
 	flag.Parse()
 	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: a4nn-serve -store DIR [-addr host:port]")
+		fmt.Fprintln(os.Stderr, "usage: a4nn-serve -store DIR [-addr host:port] [-follow]")
 		os.Exit(2)
 	}
 	store, err := commons.Open(*storeDir)
@@ -53,6 +57,17 @@ func main() {
 	// SIGINT/SIGTERM drain in-flight requests before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *follow {
+		// Follow mode tails the journal a concurrently running `a4nn
+		// -events` search appends to, so this viewer process serves the
+		// live dashboard for a run it did not start.
+		observer := obs.NewObserver()
+		srv.SetObserver(observer)
+		go obs.FollowFile(ctx, filepath.Join(*storeDir, obs.EventsFile), observer.Journal(), 0)
+		fmt.Printf("following %s — live dashboard on http://%s/dashboard\n",
+			filepath.Join(*storeDir, obs.EventsFile), ln.Addr())
+	}
 	httpSrv := &http.Server{Handler: srv}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()

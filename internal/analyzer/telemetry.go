@@ -40,5 +40,12 @@ func FormatTelemetry(t *obs.Telemetry) string {
 			100*float64(t.EpochsSaved)/float64(budget))
 	}
 	fmt.Fprintf(&sb, " · terminated early: %d\n", t.Terminated)
+	if emitted := t.Metrics.Counters["a4nn_events_emitted_total"]; emitted > 0 {
+		fmt.Fprintf(&sb, "events: %d emitted · %d dropped to slow subscribers · %d subscribers evicted · %d file errors\n",
+			emitted,
+			t.Metrics.Counters["a4nn_events_dropped_total"],
+			t.Metrics.Counters["a4nn_events_subscribers_evicted_total"],
+			t.Metrics.Counters["a4nn_events_file_errors_total"])
+	}
 	return sb.String()
 }

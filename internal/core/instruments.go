@@ -17,11 +17,14 @@ type Instruments struct {
 	stopEpoch   *obs.Histogram
 	epochsSaved *obs.Counter
 	terminated  *obs.Counter
+	journal     *obs.Journal
 }
 
-// NewInstruments registers the training metrics with the registry. A
-// nil registry returns nil, which disables instrumentation.
-func NewInstruments(reg *obs.Registry) *Instruments {
+// NewInstruments registers the training metrics with the observer's
+// registry and binds its event journal. A nil observer (or one without
+// a registry) returns nil, which disables instrumentation.
+func NewInstruments(o *obs.Observer) *Instruments {
+	reg := o.Registry()
 	if reg == nil {
 		return nil
 	}
@@ -33,7 +36,17 @@ func NewInstruments(reg *obs.Registry) *Instruments {
 		stopEpoch:   reg.Histogram("a4nn_predictor_stop_epoch", obs.EpochBuckets),
 		epochsSaved: reg.Counter("a4nn_predictor_epochs_saved_total"),
 		terminated:  reg.Counter("a4nn_predictor_terminated_total"),
+		journal:     o.Journal(),
 	}
+}
+
+// events returns the bound journal (nil-safe: nil instruments emit
+// nothing).
+func (ins *Instruments) events() *obs.Journal {
+	if ins == nil {
+		return nil
+	}
+	return ins.journal
 }
 
 // observeEpoch books one completed training epoch.

@@ -147,6 +147,7 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.journal.Emit(obs.Event{Type: obs.EventRunStart, Devices: cfg.Devices, Epochs: cfg.MaxEpochs})
 
 	evaluator := nsga.EvaluatorFunc[*genome.MicroGenome](func(gen int, cands []*genome.MicroGenome) ([][]float64, error) {
 		infos := make([]archInfo, len(cands))
@@ -161,10 +162,12 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	ops := microOps{nodes: cfg.CellNodes, mutationRate: cfg.MutationRate}
 	nasRes, err := nsga.Run[*genome.MicroGenome](cfg.NAS, ops, evaluator)
 	if err != nil {
+		r.journal.Emit(obs.Event{Type: obs.EventRunEnd, Err: err.Error()})
 		return nil, err
 	}
 	res := r.finish()
 	res.MicroNAS = nasRes
+	r.emitRunEnd(res, cfg.MaxEpochs)
 	return res, nil
 }
 

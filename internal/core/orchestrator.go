@@ -108,9 +108,15 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 	if o.SlowFactor > 1 {
 		epochCost *= o.SlowFactor
 	}
+	var evModel string
+	var evGen int
+	if rec != nil {
+		evModel, evGen = rec.ID, rec.Generation
+	}
 	var tracker *predict.Tracker
 	if o.Engine != nil {
 		tracker = predict.NewTracker(o.Engine)
+		tracker.Label, tracker.Gen = evModel, evGen
 	}
 	out := &TrainOutcome{}
 	lastVal := 0.0
@@ -169,6 +175,14 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		espan.SetFloat("sim_s", epochCost)
 		espan.End()
 		o.Obs.observeEpoch(epochCost, metrics.ValAccuracy)
+		o.Obs.events().Emit(obs.Event{
+			Type:       obs.EventEpoch,
+			Gen:        evGen,
+			Model:      evModel,
+			Epoch:      e,
+			ValAcc:     metrics.ValAccuracy,
+			SimSeconds: epochCost,
+		})
 		if rec != nil {
 			rec.Epochs = append(rec.Epochs, entry)
 		}
@@ -192,6 +206,18 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		if f, ok := tracker.FinalFitness(); ok {
 			out.FinalFitness = f
 		}
+		// The event of record for the paper's headline mechanism: the
+		// engine's converged prediction next to the accuracy actually
+		// observed at the termination epoch.
+		o.Obs.events().Emit(obs.Event{
+			Type:        obs.EventPredictTerminate,
+			Gen:         evGen,
+			Model:       evModel,
+			Predicted:   out.FinalFitness,
+			Actual:      lastVal,
+			Epochs:      out.EpochsTrained,
+			SavedEpochs: o.MaxEpochs - out.EpochsTrained,
+		})
 	} else {
 		out.FinalFitness = lastVal
 	}
@@ -203,6 +229,15 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		rec.FinalFitness = out.FinalFitness
 	}
 	o.Obs.observeModel(out, o.MaxEpochs)
+	o.Obs.events().Emit(obs.Event{
+		Type:       obs.EventModelDone,
+		Gen:        evGen,
+		Model:      evModel,
+		Fitness:    out.FinalFitness,
+		Epochs:     out.EpochsTrained,
+		Terminated: out.Terminated,
+		SimSeconds: out.SimSeconds,
+	})
 	// Annotate the scheduler's task span (when one encloses this call)
 	// with the training outcome, so per-generation telemetry can report
 	// prediction savings without re-reading lineage records.

@@ -42,6 +42,7 @@ type runner struct {
 	engine       *predict.Engine
 	engineParams *lineage.EngineParams
 	instruments  *Instruments
+	journal      *obs.Journal
 
 	mu              sync.Mutex
 	res             *Result
@@ -111,7 +112,8 @@ func newRunner(p runnerParams) (*runner, error) {
 		seed:           p.seed,
 		pool:           pool,
 		res:            &Result{},
-		instruments:    NewInstruments(p.observer.Registry()),
+		instruments:    NewInstruments(p.observer),
+		journal:        p.observer.Journal(),
 	}
 	if p.engineCfg != nil {
 		engine, err := predict.NewEngine(*p.engineCfg)
@@ -123,6 +125,7 @@ func newRunner(p runnerParams) (*runner, error) {
 				Predictions:  reg.Counter("a4nn_predict_predictions_total"),
 				FitFailures:  reg.Counter("a4nn_predict_fit_failures_total"),
 				Convergences: reg.Counter("a4nn_predict_convergences_total"),
+				Events:       p.observer.Journal(),
 			})
 		}
 		r.engine = engine
@@ -266,8 +269,42 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 		r.res.Models = append(r.res.Models, mr)
 		objs[i] = []float64{100 - mr.Fitness, mr.MFLOPs}
 	}
+	var front []obs.ParetoPoint
+	if r.journal != nil {
+		front = r.paretoFrontLocked()
+	}
 	r.mu.Unlock()
+	if front != nil {
+		r.journal.Emit(obs.Event{Type: obs.EventParetoUpdate, Gen: gen, Front: front})
+	}
 	return objs, nil
+}
+
+// paretoFrontLocked computes the non-dominated set (maximise accuracy,
+// minimise MFLOPs) over every model evaluated so far, for the
+// pareto_update event. The analyzer package has the full-featured
+// frontier, but it sits above core in the import graph; this local scan
+// keeps the dependency arrow pointing the right way. Caller holds r.mu.
+func (r *runner) paretoFrontLocked() []obs.ParetoPoint {
+	models := r.res.Models
+	front := make([]obs.ParetoPoint, 0, 8)
+	for i, m := range models {
+		dominated := false
+		for j, o := range models {
+			if i == j {
+				continue
+			}
+			if o.Fitness >= m.Fitness && o.MFLOPs <= m.MFLOPs &&
+				(o.Fitness > m.Fitness || o.MFLOPs < m.MFLOPs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, obs.ParetoPoint{ID: m.Record.ID, Accuracy: m.Fitness, MFLOPs: m.MFLOPs})
+		}
+	}
+	return front
 }
 
 // modelResult assembles a ModelResult from a record.

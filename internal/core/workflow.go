@@ -255,6 +255,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.journal.Emit(obs.Event{Type: obs.EventRunStart, Devices: cfg.Devices, Epochs: cfg.MaxEpochs})
 
 	evaluator := nsga.EvaluatorFunc[*genome.Genome](func(gen int, cands []*genome.Genome) ([][]float64, error) {
 		infos := make([]archInfo, len(cands))
@@ -269,11 +270,29 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	ops := genomeOps{phases: cfg.Phases, nodes: cfg.NodesPerPhase, mutationRate: cfg.MutationRate}
 	nasRes, err := nsga.Run[*genome.Genome](cfg.NAS, ops, evaluator)
 	if err != nil {
+		r.journal.Emit(obs.Event{Type: obs.EventRunEnd, Err: err.Error()})
 		return nil, err
 	}
 	res := r.finish()
 	res.NAS = nasRes
+	r.emitRunEnd(res, cfg.MaxEpochs)
 	return res, nil
+}
+
+// emitRunEnd publishes the run's closing event with the headline
+// accounting the dashboard's savings ticker sums up.
+func (r *runner) emitRunEnd(res *Result, maxEpochs int) {
+	r.journal.Emit(obs.Event{
+		Type:        obs.EventRunEnd,
+		Tasks:       len(res.Models),
+		Epochs:      res.TotalEpochs,
+		SavedEpochs: len(res.Models)*maxEpochs - res.TotalEpochs,
+		WallSeconds: res.Totals.WallSeconds,
+		IdleSeconds: res.Totals.IdleSeconds,
+		LostSeconds: res.Totals.LostSeconds,
+		Retries:     res.Totals.Retries,
+		Faults:      res.Totals.Faults,
+	})
 }
 
 // nilableStore converts a possibly-nil *commons.Store into a

@@ -16,6 +16,10 @@ type Network struct {
 	// InShape is the per-sample input shape, e.g. (C, H, W).
 	InShape []int
 	Layers  []Layer
+
+	// prof caches the per-layer profiler binding (see profile.go); nil
+	// until a profiler is installed and the network first runs.
+	prof *profBinding
 }
 
 // NewNetwork validates that the layers compose over the given input shape
@@ -41,13 +45,18 @@ func (n *Network) OutShape() ([]int, error) {
 	return shape, nil
 }
 
-// Forward runs the batch through every layer.
+// Forward runs the batch through every layer. With a profiler
+// installed (SetProfiler) each layer's wall time and FLOPs are
+// accounted; disabled, the check is one atomic load and a branch.
 func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if p := activeProf.Load(); p != nil {
+		return n.forwardProfiled(p, x, train)
+	}
 	var err error
 	for i, l := range n.Layers {
 		x, err = l.Forward(x, train)
 		if err != nil {
-			return nil, fmt.Errorf("nn: network %q layer %d forward: %w", n.ID, i, err)
+			return nil, wrapLayerErr(n, i, "forward", err)
 		}
 	}
 	return x, nil
@@ -56,14 +65,22 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 // Backward propagates ∂L/∂output back through every layer, accumulating
 // parameter gradients.
 func (n *Network) Backward(grad *tensor.Tensor) error {
+	if p := activeProf.Load(); p != nil {
+		return n.backwardProfiled(p, grad)
+	}
 	var err error
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad, err = n.Layers[i].Backward(grad)
 		if err != nil {
-			return fmt.Errorf("nn: network %q layer %d backward: %w", n.ID, i, err)
+			return wrapLayerErr(n, i, "backward", err)
 		}
 	}
 	return nil
+}
+
+// wrapLayerErr annotates a layer failure with its network and position.
+func wrapLayerErr(n *Network, layer int, pass string, err error) error {
+	return fmt.Errorf("nn: network %q layer %d %s: %w", n.ID, layer, pass, err)
 }
 
 // Params returns every trainable parameter in layer order.

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// FollowFile tails an events JSONL file written by another process
+// into j (preserving the writer's sequence numbers via Ingest), so a
+// viewer process can replay and stream a run it did not start. It
+// polls for appended data every interval (a sane default is used when
+// interval <= 0), tolerates the file not existing yet, and never
+// ingests a torn final line — a partial line is retried once the
+// writer completes it. Blocks until ctx is done.
+func FollowFile(ctx context.Context, path string, j *Journal, interval time.Duration) error {
+	if j == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	var (
+		f       *os.File
+		rd      *bufio.Reader
+		partial []byte
+	)
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	wait := func() error {
+		t := time.NewTimer(interval)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+	for {
+		if f == nil {
+			var err error
+			f, err = os.Open(path)
+			if err != nil {
+				if err := wait(); err != nil {
+					return nil
+				}
+				continue
+			}
+			rd = bufio.NewReader(f)
+			partial = partial[:0]
+		}
+		line, err := rd.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			line = append(partial, line...)
+			partial = partial[:0]
+			var e Event
+			if jerr := json.Unmarshal(line, &e); jerr == nil {
+				j.Ingest(e)
+			}
+			continue
+		}
+		if len(line) > 0 {
+			// Incomplete tail: stash it and retry after the writer
+			// finishes the line.
+			partial = append(partial, line...)
+		}
+		if err != nil && err != io.EOF {
+			f.Close()
+			f = nil
+		}
+		if err := wait(); err != nil {
+			return nil
+		}
+	}
+}

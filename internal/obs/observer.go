@@ -17,19 +17,24 @@ const (
 	MetricsFile = "metrics.json"
 )
 
-// Observer bundles a metrics registry and a span tracer — the handle a
-// run threads through the workflow. A nil Observer disables all
-// observability: Registry and Tracer return nil, whose instrument
-// handles and spans are no-ops.
+// Observer bundles a metrics registry, a span tracer, and an event
+// journal — the handle a run threads through the workflow. A nil
+// Observer disables all observability: Registry, Tracer, and Journal
+// return nil, whose instrument handles, spans, and Emit calls are
+// no-ops.
 type Observer struct {
-	reg    *Registry
-	tracer *Tracer
+	reg     *Registry
+	tracer  *Tracer
+	journal *Journal
 }
 
-// NewObserver returns an observer with a fresh registry and a tracer of
-// DefaultSpanCapacity.
+// NewObserver returns an observer with a fresh registry, a tracer of
+// DefaultSpanCapacity, and an event journal (ring only — attach a
+// file with Journal().OpenFile to persist events).
 func NewObserver() *Observer {
-	return &Observer{reg: NewRegistry(), tracer: NewTracer(0)}
+	o := &Observer{reg: NewRegistry(), tracer: NewTracer(0), journal: NewJournal(0)}
+	o.journal.bindMetrics(o.reg)
+	return o
 }
 
 // Registry returns the metrics registry (nil on a nil observer).
@@ -46,6 +51,14 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.tracer
+}
+
+// Journal returns the event journal (nil on a nil observer).
+func (o *Observer) Journal() *Journal {
+	if o == nil {
+		return nil
+	}
+	return o.journal
 }
 
 // FlushTo atomically writes the spans JSONL and the metrics snapshot
@@ -75,6 +88,12 @@ func (o *Observer) FlushTo(dir string) error {
 	}
 	if err := atomicWrite(filepath.Join(dir, MetricsFile), buf.Bytes()); err != nil {
 		return fmt.Errorf("obs: write %s: %w", MetricsFile, err)
+	}
+	// The event journal is append-per-event already; just push it to
+	// stable storage so a fatal exit right after the flush loses
+	// nothing.
+	if err := o.journal.Sync(); err != nil {
+		return fmt.Errorf("obs: sync %s: %w", EventsFile, err)
 	}
 	return nil
 }

@@ -137,6 +137,12 @@ var (
 	// EpochBuckets spans the paper's 25-epoch training budget; used for
 	// the predictor's stop-epoch distribution.
 	EpochBuckets = []float64{2, 4, 6, 8, 10, 12, 16, 20, 25}
+	// LayerSecondsBuckets spans per-layer forward/backward wall times,
+	// from microsecond activations to multi-millisecond convolutions.
+	LayerSecondsBuckets = []float64{
+		1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+		1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1,
+	}
 )
 
 // Registry holds named instruments. Lookups take a mutex; handles are

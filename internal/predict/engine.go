@@ -105,6 +105,10 @@ type Metrics struct {
 	// Convergences counts networks whose prediction window converged
 	// (one per Tracker, at the convergence transition).
 	Convergences *obs.Counter
+	// Events, when non-nil, receives a predict_converge event at each
+	// Tracker's convergence transition, carrying the tracker's Label and
+	// the converged prediction.
+	Events *obs.Journal
 }
 
 // NewEngine validates cfg and returns an engine.
@@ -239,6 +243,11 @@ func (e *Engine) Converged(predictions []float64) bool {
 // declared convergence. One Tracker is created per NN being trained.
 type Tracker struct {
 	engine *Engine
+	// Label identifies the network in emitted events (typically its
+	// lineage record ID); optional.
+	Label string
+	// Gen is the network's NAS generation, carried into events; optional.
+	Gen int
 	// H is the fitness history: H[i] is the fitness after epoch i+1.
 	H []float64
 	// P is the prediction history: every successful prediction, in order.
@@ -268,6 +277,13 @@ func (t *Tracker) Observe(fitness float64) (converged bool) {
 	t.converged = t.engine.Converged(t.P)
 	if t.converged {
 		t.engine.metrics.Convergences.Inc()
+		t.engine.metrics.Events.Emit(obs.Event{
+			Type:      obs.EventPredictConverge,
+			Model:     t.Label,
+			Gen:       t.Gen,
+			Epoch:     len(t.H),
+			Predicted: t.P[len(t.P)-1],
+		})
 	}
 	return t.converged
 }

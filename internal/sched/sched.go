@@ -118,6 +118,7 @@ type poolObs struct {
 	genWall     *obs.Gauge
 	idle        *obs.Gauge
 	devBusy     []*obs.Gauge
+	journal     *obs.Journal
 }
 
 // SetObserver registers the pool's metrics (dispatch/retry/straggler
@@ -148,6 +149,7 @@ func (p *Pool) SetObserver(o *obs.Observer) {
 		p.obsv.devBusy = append(p.obsv.devBusy,
 			reg.Gauge(fmt.Sprintf(`a4nn_sched_device_busy_sim_seconds{device="%d"}`, d.ID)))
 	}
+	p.obsv.journal = o.Journal()
 }
 
 // NewPool creates a pool of n identical devices. throughput ≤ 0 selects
@@ -336,6 +338,12 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 	// The generation span parents every task span dispatched below; its
 	// attributes carry the simulated accounting for telemetry.
 	ctx, gspan := obs.StartSpan(ctx, obs.SpanGeneration)
+	obsv.journal.Emit(obs.Event{
+		Type:    obs.EventGenerationStart,
+		Gen:     gen,
+		Tasks:   len(tasks),
+		Devices: aliveCount,
+	})
 
 	g := &genRun{
 		pool:       p,
@@ -453,6 +461,17 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 	gspan.SetInt("retries", rep.Retries)
 	gspan.SetInt("faults", rep.Faults)
 	gspan.End()
+	obsv.journal.Emit(obs.Event{
+		Type:        obs.EventGenerationEnd,
+		Gen:         gen,
+		Tasks:       len(tasks),
+		WallSeconds: rep.WallSeconds,
+		IdleSeconds: rep.IdleSeconds,
+		LostSeconds: rep.LostSeconds,
+		DeviceBusy:  append([]float64(nil), rep.DeviceBusy...),
+		Retries:     rep.Retries,
+		Faults:      rep.Faults,
+	})
 	return rep, err
 }
 
@@ -470,6 +489,12 @@ func (g *genRun) work(dev Device) {
 	}
 	if slow > 1 {
 		g.obsv.stragglers.Inc()
+		g.obsv.journal.Emit(obs.Event{
+			Type:       obs.EventStraggler,
+			Gen:        g.gen,
+			Device:     dev.ID,
+			SlowFactor: slow,
+		})
 	}
 
 	g.mu.Lock()
@@ -483,6 +508,12 @@ func (g *genRun) work(dev Device) {
 			if willCrash && g.aliveCount() > 1 {
 				g.faults++
 				g.obsv.faults.Inc()
+				g.obsv.journal.Emit(obs.Event{
+					Type:   obs.EventTaskFault,
+					Gen:    g.gen,
+					Device: dev.ID,
+					Err:    "device crash at generation barrier",
+				})
 				g.markDead(dev)
 			}
 			return
@@ -504,6 +535,15 @@ func (g *genRun) work(dev Device) {
 			g.retries++
 			g.obsv.faults.Inc()
 			g.obsv.retries.Inc()
+			g.obsv.journal.Emit(obs.Event{
+				Type:       obs.EventTaskFault,
+				Gen:        g.gen,
+				Task:       att.task,
+				Attempt:    att.attempt,
+				Device:     dev.ID,
+				SimSeconds: loss,
+				Err:        "device crash",
+			})
 			att.excludeDev(dev.ID)
 			g.queue = append([]*attemptMeta{att}, g.queue...)
 			g.markDead(dev)
@@ -547,6 +587,17 @@ func (g *genRun) work(dev Device) {
 			DeadlineSeconds: p.deadline,
 		}
 		g.mu.Unlock()
+		dispatch := obs.Event{
+			Type:    obs.EventTaskDispatch,
+			Gen:     g.gen,
+			Task:    att.task,
+			Attempt: att.attempt,
+			Device:  dev.ID,
+		}
+		if slow > 1 {
+			dispatch.SlowFactor = slow
+		}
+		g.obsv.journal.Emit(dispatch)
 		dur, err := g.tasks[att.task](tc)
 		tspan.SetFloat("sim_s", dur)
 		if err != nil {
@@ -588,6 +639,15 @@ func (g *genRun) fail(att *attemptMeta, dev Device, cost float64, cause error) {
 	g.faults++
 	g.lost += cost
 	g.obsv.faults.Inc()
+	g.obsv.journal.Emit(obs.Event{
+		Type:       obs.EventTaskFault,
+		Gen:        g.gen,
+		Task:       att.task,
+		Attempt:    att.attempt,
+		Device:     dev.ID,
+		SimSeconds: cost,
+		Err:        cause.Error(),
+	})
 	maxAttempts := g.pool.retry.maxAttempts(g.pool.plan != nil)
 	if att.attempt >= maxAttempts || g.budget == 0 {
 		g.errs[att.task] = fmt.Errorf("sched: task %d failed after %d attempt(s): %w", att.task, att.attempt, cause)
@@ -604,6 +664,13 @@ func (g *genRun) fail(att *attemptMeta, dev Device, cost float64, cause error) {
 	att.attempt++
 	att.excludeDev(dev.ID)
 	att.notBefore = g.vt[dev.ID] + g.pool.retry.backoff(att.attempt)
+	g.obsv.journal.Emit(obs.Event{
+		Type:    obs.EventTaskRetry,
+		Gen:     g.gen,
+		Task:    att.task,
+		Attempt: att.attempt,
+		Device:  dev.ID,
+	})
 	g.queue = append(g.queue, att)
 	g.cond.Broadcast()
 }

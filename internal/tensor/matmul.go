@@ -43,6 +43,7 @@ func MatMulInto(a, b, dst *Tensor) error {
 		return fmt.Errorf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n)
 	}
 	dst.Zero()
+	countMatMul(m, n, k)
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmPanel(a.data, b.data, dst.data, k, n, i0, i1, j0, j1)
 	})
@@ -65,6 +66,7 @@ func MatMulTransAInto(a, b, dst *Tensor) error {
 		return fmt.Errorf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n)
 	}
 	dst.Zero()
+	countMatMul(m, n, k)
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmTransAPanel(a.data, b.data, dst.data, k, m, n, i0, i1, j0, j1)
 	})
@@ -89,6 +91,7 @@ func MatMulTransBInto(a, b, dst *Tensor) error {
 		return fmt.Errorf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n)
 	}
 	dst.Zero()
+	countMatMul(m, n, k)
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmTransBPanel(a.data, b.data, dst.data, k, n, i0, i1, j0, j1)
 	})

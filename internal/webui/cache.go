@@ -1,0 +1,58 @@
+package webui
+
+import (
+	"sync"
+	"time"
+)
+
+// APICacheTTL is how long /api/summary and /api/pareto responses are
+// reused before the store is consulted again. Both endpoints re-read
+// and aggregate every record trail on disk; under a live dashboard
+// refreshing them per request would turn O(records) disk work into a
+// per-client cost.
+const APICacheTTL = 2 * time.Second
+
+// ttlCache memoises keyed computations for a fixed TTL. Errors are not
+// cached, so a transient store failure is retried on the next request.
+type ttlCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	now     func() time.Time // injectable for tests
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	val any
+	at  time.Time
+}
+
+func newTTLCache(ttl time.Duration) *ttlCache {
+	return &ttlCache{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]cacheEntry),
+	}
+}
+
+// get returns the cached value for key, calling fill (and caching its
+// result) when the entry is missing or older than the TTL.
+func (c *ttlCache) get(key string, fill func() (any, error)) (any, error) {
+	c.mu.Lock()
+	ent, ok := c.entries[key]
+	if ok && c.now().Sub(ent.at) < c.ttl {
+		c.mu.Unlock()
+		return ent.val, nil
+	}
+	c.mu.Unlock()
+	// Fill outside the lock: a slow store read must not serialise every
+	// other endpoint behind it. Concurrent misses may fill twice; the
+	// last write wins, which is harmless for idempotent reads.
+	val, err := fill()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.entries[key] = cacheEntry{val: val, at: c.now()}
+	c.mu.Unlock()
+	return val, nil
+}

@@ -1,0 +1,116 @@
+package webui
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/lineage"
+)
+
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func putThirdRecord(t *testing.T, store *commons.Store) {
+	t.Helper()
+	r := &lineage.Record{ID: "m3", Genome: "1111111|1111111|1111111", NodesPerPhase: 4,
+		Beam: "low", FinalFitness: 80, FLOPs: 2e8,
+		Epochs: []lineage.EpochEntry{{Epoch: 1, ValAccuracy: 80, SimSeconds: 3}}}
+	r.CreatedAt = time.Now()
+	if err := store.PutRecord(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLCacheFillsOncePerWindow(t *testing.T) {
+	c := newTTLCache(time.Second)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	fills := 0
+	fill := func() (any, error) { fills++; return fills, nil }
+
+	for i := 0; i < 5; i++ {
+		v, err := c.get("k", fill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 1 {
+			t.Fatalf("get %d returned %v, want 1", i, v)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fills = %d within TTL, want 1", fills)
+	}
+
+	now = now.Add(2 * time.Second)
+	v, err := c.get("k", fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 2 || fills != 2 {
+		t.Fatalf("after TTL: v=%v fills=%d, want 2, 2", v, fills)
+	}
+
+	// Distinct keys fill independently.
+	if _, err := c.get("other", fill); err != nil {
+		t.Fatal(err)
+	}
+	if fills != 3 {
+		t.Fatalf("fills = %d after new key, want 3", fills)
+	}
+}
+
+// TestSummaryHitsStoreOncePerWindow drives the real handler: within
+// one TTL window the store is read once, so a record added mid-window
+// is invisible until the window expires.
+func TestSummaryHitsStoreOncePerWindow(t *testing.T) {
+	store := testStore(t)
+	srv, err := New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(5000, 0)
+	srv.cache.now = func() time.Time { return now }
+	ts := newHTTPServer(t, srv)
+
+	code, body := get(t, ts.URL+"/api/summary")
+	if code != 200 || !strings.Contains(body, `"Records": 2`) {
+		t.Fatalf("first summary: %d\n%s", code, body)
+	}
+
+	// New record lands mid-window: the cached summary still serves.
+	putThirdRecord(t, store)
+	if _, body := get(t, ts.URL+"/api/summary"); !strings.Contains(body, `"Records": 2`) {
+		t.Fatalf("summary re-read store within TTL:\n%s", body)
+	}
+
+	now = now.Add(APICacheTTL + time.Second)
+	if _, body := get(t, ts.URL+"/api/summary"); !strings.Contains(body, `"Records": 3`) {
+		t.Fatalf("summary stale after TTL:\n%s", body)
+	}
+}
+
+func TestParetoCachedPerBeam(t *testing.T) {
+	srv, err := New(testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(7000, 0)
+	srv.cache.now = func() time.Time { return now }
+	ts := newHTTPServer(t, srv)
+
+	// Different beams are distinct cache keys with distinct contents.
+	if _, body := get(t, ts.URL+"/api/pareto?beam=low"); !strings.Contains(body, "m1") {
+		t.Fatalf("low beam pareto:\n%s", body)
+	}
+	if _, body := get(t, ts.URL+"/api/pareto?beam=high"); !strings.Contains(body, "m2") {
+		t.Fatalf("high beam pareto:\n%s", body)
+	}
+}

@@ -1,0 +1,238 @@
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"a4nn/internal/obs"
+)
+
+// EventsHandler streams a journal's events as Server-Sent Events. Each
+// event is framed with its journal sequence number as the SSE id and
+// its type as the SSE event name, so EventSource clients dispatch on
+// type and, on reconnect, resume from where they left off: the
+// standard Last-Event-ID header (or a last_id query parameter, for
+// curl) replays everything still in the journal's ring with a greater
+// sequence number before going live.
+//
+// The handler subscribes to the broker *before* snapshotting the
+// replay window, so no event can fall between replay and live; live
+// events at or below the replayed tail are skipped. A client that
+// stops reading is evicted by the broker (its channel closes) and the
+// handler returns — hundreds of dashboards can never stall the search.
+func EventsHandler(j *obs.Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "event journal unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		var last uint64
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			last, _ = strconv.ParseUint(v, 10, 64)
+		} else if v := r.URL.Query().Get("last_id"); v != "" {
+			last, _ = strconv.ParseUint(v, 10, 64)
+		}
+		sub := j.Subscribe(0)
+		defer sub.Close()
+
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+
+		for _, e := range j.Since(last) {
+			if writeSSE(w, e) != nil {
+				return
+			}
+			last = e.Seq
+		}
+		fl.Flush()
+
+		ctx := r.Context()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case e, open := <-sub.C():
+				if !open {
+					return // evicted by the broker
+				}
+				if e.Seq <= last {
+					continue // already sent during replay
+				}
+				last = e.Seq
+				if writeSSE(w, e) != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	})
+}
+
+// writeSSE frames one event in text/event-stream format.
+func writeSSE(w io.Writer, e obs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+// DashboardHandler serves the live dashboard page standalone, for
+// mounting next to EventsHandler on listeners that are not a full
+// webui.Server (cmd/a4nn's metrics address). The page only needs
+// /events on the same host.
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardHTML)
+	})
+}
+
+// dashboardHTML is the live dashboard: a single self-contained page
+// driven entirely by the /events SSE stream (no polling, no external
+// assets). It tracks generation progress, per-device utilization,
+// validation-accuracy sparklines, the accuracy-vs-MFLOPs Pareto
+// scatter, and the epochs saved by predictive termination.
+const dashboardHTML = `<!DOCTYPE html>
+<html><head><title>A4NN live dashboard</title>
+<style>
+body { font-family: monospace; margin: 1.5rem; background: #111; color: #ddd; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; color: #9cf; margin-bottom: .3rem; }
+.grid { display: grid; grid-template-columns: 1fr 1fr; gap: 1.2rem; max-width: 70rem; }
+.card { background: #1b1b1b; border: 1px solid #333; padding: .8rem 1rem; border-radius: 4px; }
+.big { font-size: 1.6rem; color: #fff; }
+.bar { background: #333; height: .7rem; border-radius: 3px; overflow: hidden; margin: .15rem 0; }
+.bar > div { background: #4c8; height: 100%; width: 0; }
+canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
+#log { max-height: 10rem; overflow-y: auto; font-size: .8rem; color: #888; }
+.muted { color: #777; font-size: .85rem; }
+#conn { float: right; } .ok { color: #4c8; } .bad { color: #e66; }
+</style></head><body>
+<h1>A4NN live dashboard <span id="conn" class="bad">connecting…</span></h1>
+<div class="grid">
+<div class="card"><h2>Generation</h2>
+  <div class="big" id="gen">–</div>
+  <div class="bar"><div id="genbar"></div></div>
+  <div class="muted" id="gendetail">waiting for events</div></div>
+<div class="card"><h2>Prediction savings</h2>
+  <div class="big"><span id="saved">0</span> epochs saved</div>
+  <div class="muted"><span id="terms">0</span> early terminations ·
+    <span id="faults">0</span> faults · <span id="retries">0</span> retries</div></div>
+<div class="card"><h2>Device utilization</h2><div id="devices" class="muted">no generation finished yet</div></div>
+<div class="card"><h2>Validation accuracy</h2><canvas id="acc" width="560" height="120"></canvas>
+  <div class="muted">last <span id="accn">0</span> epoch reports</div></div>
+<div class="card"><h2>Pareto front (accuracy vs MFLOPs)</h2><canvas id="pareto" width="560" height="180"></canvas>
+  <div class="muted"><span id="frontn">0</span> non-dominated models</div></div>
+<div class="card"><h2>Event log</h2><div id="log"></div></div>
+</div>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+let tasksDone = 0, tasksTotal = 0, saved = 0, terms = 0, faults = 0, retries = 0;
+const accs = [], maxAccs = 200;
+let front = [];
+function logLine(s) {
+  const d = $("log"), p = document.createElement("div");
+  p.textContent = s; d.prepend(p);
+  while (d.childNodes.length > 60) d.removeChild(d.lastChild);
+}
+function drawAcc() {
+  const c = $("acc"), g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  if (!accs.length) return;
+  g.strokeStyle = "#4c8"; g.beginPath();
+  accs.forEach((a, i) => {
+    const x = i / Math.max(1, accs.length - 1) * (c.width - 8) + 4;
+    const y = c.height - 4 - a / 100 * (c.height - 8);
+    i ? g.lineTo(x, y) : g.moveTo(x, y);
+  });
+  g.stroke();
+  $("accn").textContent = accs.length;
+}
+function drawPareto() {
+  const c = $("pareto"), g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  if (!front.length) return;
+  const maxF = Math.max(...front.map(p => p.mflops || 0), 1);
+  g.fillStyle = "#9cf";
+  front.forEach(p => {
+    const x = (p.mflops || 0) / maxF * (c.width - 16) + 8;
+    const y = c.height - 8 - (p.acc || 0) / 100 * (c.height - 16);
+    g.beginPath(); g.arc(x, y, 3, 0, 7); g.fill();
+  });
+  $("frontn").textContent = front.length;
+}
+function handle(type, e) {
+  switch (type) {
+  case "run_start":
+    logLine("run started: " + (e.devices || 0) + " devices, " + (e.epochs || 0) + " max epochs"); break;
+  case "generation_start":
+    tasksTotal = e.tasks || 0; tasksDone = 0;
+    $("gen").textContent = "gen " + (e.gen || 0);
+    $("gendetail").textContent = tasksTotal + " tasks on " + (e.devices || 0) + " devices";
+    $("genbar").style.width = "0%"; break;
+  case "model_done":
+    tasksDone++;
+    if (tasksTotal) $("genbar").style.width = (100 * tasksDone / tasksTotal).toFixed(1) + "%";
+    break;
+  case "generation_end": {
+    $("genbar").style.width = "100%";
+    const busy = e.device_busy || [], wall = e.wall_seconds || 0;
+    $("devices").innerHTML = "";
+    busy.forEach((b, i) => {
+      const pct = wall > 0 ? Math.min(100, 100 * b / wall) : 0;
+      const row = document.createElement("div");
+      row.innerHTML = "dev " + i + " " + pct.toFixed(0) +
+        '%<div class="bar"><div style="width:' + pct.toFixed(1) + '%"></div></div>';
+      $("devices").appendChild(row);
+    });
+    logLine("gen " + (e.gen || 0) + " done: wall " + (wall).toFixed(1) + "s, " +
+      (e.faults || 0) + " faults"); break;
+  }
+  case "epoch":
+    accs.push(e.val_acc || 0); if (accs.length > maxAccs) accs.shift();
+    drawAcc(); break;
+  case "predict_terminate":
+    saved += e.saved_epochs || 0; terms++;
+    $("saved").textContent = saved; $("terms").textContent = terms;
+    logLine("terminated " + (e.model || "?") + " early: predicted " +
+      (e.predicted || 0).toFixed(2) + "%, saved " + (e.saved_epochs || 0) + " epochs");
+    break;
+  case "pareto_update":
+    front = e.front || []; drawPareto(); break;
+  case "task_fault":
+    faults++; $("faults").textContent = faults;
+    logLine("fault on device " + (e.device || 0) + ": " + (e.err || "")); break;
+  case "task_retry":
+    retries++; $("retries").textContent = retries; break;
+  case "run_end":
+    logLine("run finished: " + (e.tasks || 0) + " models, " +
+      (e.saved_epochs || 0) + " epochs saved"); break;
+  }
+}
+const types = ["run_start","run_end","generation_start","generation_end","task_dispatch",
+  "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
+  "predict_terminate","pareto_update"];
+const es = new EventSource("/events");
+es.onopen = () => { const c = $("conn"); c.textContent = "live"; c.className = "ok"; };
+es.onerror = () => { const c = $("conn"); c.textContent = "reconnecting…"; c.className = "bad"; };
+types.forEach(t => es.addEventListener(t, ev => handle(t, JSON.parse(ev.data))));
+</script>
+</body></html>
+`

@@ -41,6 +41,7 @@ type Server struct {
 	store *commons.Store
 	mux   *http.ServeMux
 	obsOn bool
+	cache *ttlCache
 }
 
 // New builds a server over the store.
@@ -48,7 +49,7 @@ func New(store *commons.Store) (*Server, error) {
 	if store == nil {
 		return nil, fmt.Errorf("webui: nil store")
 	}
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), cache: newTTLCache(APICacheTTL)}
 	s.mux.HandleFunc("GET /api/records", s.handleRecords)
 	s.mux.HandleFunc("GET /api/records/{id}", s.handleRecord)
 	s.mux.HandleFunc("GET /api/records/{id}/dot", s.handleDOT)
@@ -59,9 +60,10 @@ func New(store *commons.Store) (*Server, error) {
 }
 
 // SetObserver mounts the live observability endpoints (/metrics,
-// /metrics.json, /debug/spans) backed by the observer of a running
-// search. Call at most once, before serving; a nil observer or a
-// repeated call is a no-op.
+// /metrics.json, /debug/spans, the /events SSE stream, and the
+// /dashboard page) backed by the observer of a running search. Call at
+// most once, before serving; a nil observer or a repeated call is a
+// no-op.
 func (s *Server) SetObserver(o *obs.Observer) {
 	if o == nil || s.obsOn {
 		return
@@ -70,6 +72,8 @@ func (s *Server) SetObserver(o *obs.Observer) {
 	s.mux.Handle("GET /metrics", o.Registry().MetricsHandler())
 	s.mux.Handle("GET /metrics.json", o.Registry().JSONHandler())
 	s.mux.Handle("GET /debug/spans", o.Tracer().SpansHandler())
+	s.mux.Handle("GET /events", EventsHandler(o.Journal()))
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 }
 
 // ServeHTTP implements http.Handler.
@@ -124,7 +128,10 @@ func (s *Server) handleDOT(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum, err := s.store.Summarize(r.URL.Query().Get("beam"))
+	beam := r.URL.Query().Get("beam")
+	sum, err := s.cache.get("summary:"+beam, func() (any, error) {
+		return s.store.Summarize(beam)
+	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -133,12 +140,19 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
-	models, err := s.loadModels(r.URL.Query().Get("beam"))
+	beam := r.URL.Query().Get("beam")
+	front, err := s.cache.get("pareto:"+beam, func() (any, error) {
+		models, err := s.loadModels(beam)
+		if err != nil {
+			return nil, err
+		}
+		return analyzer.ParetoFrontier(models), nil
+	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, analyzer.ParetoFrontier(models))
+	writeJSON(w, front)
 }
 
 // loadModels reconstructs ModelResults from record trails.

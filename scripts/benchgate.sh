@@ -1,7 +1,9 @@
 #!/bin/sh
 # benchgate.sh guards the zero-allocation training hot path: it re-runs
 # BenchmarkTrainStep and fails when allocs/op exceeds the committed
-# "current" value in BENCH_tensor.json. Run via `make bench-gate`.
+# "current" value in BENCH_tensor.json, and re-runs
+# BenchmarkDisabledProfiler and fails unless the disabled per-layer
+# profiler costs exactly 0 allocs/op. Run via `make bench-gate`.
 set -eu
 
 budget=$(awk '/"current"/ { c = 1 }
@@ -18,9 +20,9 @@ if [ -z "$budget" ]; then
     exit 1
 fi
 
-out=$("${GO:-go}" test -run '^$' -bench 'BenchmarkTrainStep$' -benchmem ./internal/nn)
+out=$("${GO:-go}" test -run '^$' -bench 'BenchmarkTrainStep$|BenchmarkDisabledProfiler$' -benchmem ./internal/nn)
 echo "$out"
-measured=$(echo "$out" | awk '/^BenchmarkTrainStep/ {
+measured=$(echo "$out" | awk '/^BenchmarkTrainStep(-[0-9]+)?[ \t]/ {
     for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
 }')
 if [ -z "$measured" ]; then
@@ -34,3 +36,19 @@ if [ "$measured" -gt "$budget" ]; then
     exit 1
 fi
 echo "benchgate: ok — BenchmarkTrainStep $measured allocs/op within budget $budget"
+
+# The per-layer profiler's disabled path must be free: with no profiler
+# installed the Forward/Backward hooks are one atomic load and a branch,
+# so the steady-state training pass stays at exactly zero allocations.
+profiler=$(echo "$out" | awk '/^BenchmarkDisabledProfiler(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$profiler" ]; then
+    echo "benchgate: BenchmarkDisabledProfiler reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$profiler" -gt 0 ]; then
+    echo "benchgate: FAIL — disabled profiler allocates $profiler/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — disabled profiler $profiler allocs/op"
