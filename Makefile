@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-broker bench bench-smoke bench-gate bench-json clean
+.PHONY: ci lint vet build test race race-broker race-health bench bench-smoke bench-gate bench-json clean
 
 # ci is the gate for every change: formatting and static analysis, a
 # full build, the test suite under the race detector (plus a dedicated
 # high-iteration pass over the event broker, the one component built
-# for hundreds of concurrent subscribers), a one-iteration benchmark
-# smoke run so the hot-path benchmarks cannot silently rot, and the
-# allocation-regression gates on the training hot path.
-ci: lint build race race-broker bench-smoke bench-gate
+# for hundreds of concurrent subscribers, and a stress pass over the
+# health monitors and alert manager against a fault-injected search), a
+# one-iteration benchmark smoke run so the hot-path benchmarks cannot
+# silently rot, and the allocation-regression gates on the training and
+# observability hot paths.
+ci: lint build race race-broker race-health bench-smoke bench-gate
 
 # lint fails on unformatted files (gofmt -l) and vet findings.
 lint: vet
@@ -35,6 +37,13 @@ race:
 race-broker:
 	$(GO) test -race -run Broker -count 5 ./internal/obs
 
+# race-health stresses the in-situ health monitor: the full monitor and
+# alert-manager suite, then the end-to-end fault-injected search whose
+# engine consumes the broker concurrently with the running workflow.
+race-health:
+	$(GO) test -race -count 3 ./internal/health
+	$(GO) test -race -run TestHealthMonitorEndToEnd -count 3 .
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
@@ -45,14 +54,16 @@ bench-smoke:
 
 # bench-gate fails when BenchmarkTrainStep allocates more per step than
 # the committed BENCH_tensor.json current value — the PR-2 zero-alloc
-# hot path must not regress — or when the disabled per-layer profiler
-# costs any allocations at all.
+# hot path must not regress — or when any disabled observability path
+# (per-layer profiler, span tracer, health monitor) costs allocations.
 bench-gate:
 	GO="$(GO)" sh scripts/benchgate.sh
 
 # bench-json re-measures the training hot-path benchmarks and writes
 # BENCH_tensor.json with the committed pre-optimisation baseline
-# (BENCH_baseline.txt) alongside the fresh numbers.
+# (BENCH_baseline.txt) alongside the fresh numbers, then re-measures the
+# disabled-observability benchmarks into BENCH_obs.json — the committed
+# proof that tracing and health monitoring cost nothing when off.
 bench-json:
 	$(GO) test -run=^$$ -bench='BenchmarkMatMul$$|BenchmarkIm2ColBatch$$' -benchmem ./internal/tensor > bench-current.tmp
 	$(GO) test -run=^$$ -bench='BenchmarkConvForwardBackward$$|BenchmarkTrainStep$$' -benchmem ./internal/nn >> bench-current.tmp
@@ -64,7 +75,16 @@ bench-json:
 	} > BENCH_tensor.json
 	@rm -f bench-current.tmp
 	@echo wrote BENCH_tensor.json
+	$(GO) test -run=^$$ -bench='BenchmarkDisabledObs$$' -benchmem ./internal/obs > bench-obs.tmp
+	$(GO) test -run=^$$ -bench='BenchmarkDisabledHealth$$|BenchmarkHealthObserve$$' -benchmem ./internal/health >> bench-obs.tmp
+	@{ \
+	  echo '{'; \
+	  echo '  "current": '; awk -f scripts/benchjson.awk bench-obs.tmp; \
+	  echo '}'; \
+	} > BENCH_obs.json
+	@rm -f bench-obs.tmp
+	@echo wrote BENCH_obs.json
 
 clean:
 	$(GO) clean -testcache
-	rm -f bench-current.tmp
+	rm -f bench-current.tmp bench-obs.tmp

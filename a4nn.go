@@ -31,6 +31,7 @@ import (
 	"a4nn/internal/core"
 	"a4nn/internal/dataset"
 	"a4nn/internal/genome"
+	"a4nn/internal/health"
 	"a4nn/internal/nn"
 	"a4nn/internal/nsga"
 	"a4nn/internal/obs"
@@ -160,8 +161,35 @@ type (
 	EventSubscriber = obs.Subscriber
 )
 
+// In-situ health monitoring (streaming anomaly detection over the event
+// journal and metrics registry; see internal/health).
+type (
+	// HealthEngine evaluates in-situ monitors — training divergence,
+	// learning-curve plateau, prediction miscalibration, device-pool
+	// degradation, queue saturation, journal backpressure, and a Go
+	// runtime sampler — over a run's event stream and turns findings
+	// into deduplicated, flap-suppressed alerts. A nil *HealthEngine is
+	// the disabled monitor: Observe is one nil check, zero allocations.
+	HealthEngine = health.Engine
+	// HealthConfig tunes the monitors' thresholds and the alert
+	// lifecycle; the zero value of any field keeps its default.
+	HealthConfig = health.Config
+	// HealthStatus is the aggregate run health (ok/degraded/critical).
+	HealthStatus = health.Status
+	// HealthReport is the /healthz payload: aggregate status plus
+	// per-monitor detail and the active alerts.
+	HealthReport = health.Report
+	// Alert is one tracked anomaly over its fire/dedup/resolve
+	// lifecycle, as persisted to alerts.jsonl.
+	Alert = health.Alert
+)
+
 // EventsFile is the journal's file name inside the telemetry directory.
 const EventsFile = obs.EventsFile
+
+// AlertsFile is the health monitor's alert log inside the telemetry
+// directory (JSON Lines, one line per alert state transition).
+const AlertsFile = health.AlertsFile
 
 // ReadEvents loads an events.jsonl journal, skipping a torn final line.
 func ReadEvents(path string) ([]Event, error) { return obs.ReadEvents(path) }
@@ -191,6 +219,26 @@ func SyncLayerProfiler() { nn.ActiveProfiler().SyncKernelCounters() }
 // LoadTelemetry loads per-generation telemetry from a directory an
 // Observer flushed to (normally the run's commons directory).
 func LoadTelemetry(dir string) (*Telemetry, error) { return obs.LoadTelemetry(dir) }
+
+// DefaultHealthConfig returns the health monitor's default thresholds.
+func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
+
+// ParseHealthConfig parses the compact CLI health specification, e.g.
+// "divergence-window=5;min-capacity=0.6;gc-pause-ms=20".
+func ParseHealthConfig(spec string) (HealthConfig, error) { return health.ParseConfig(spec) }
+
+// NewHealthEngine builds an in-situ health engine over the observer's
+// event journal and metrics registry. Call Start to consume the live
+// stream (Close to drain and stop), OpenAlertsFile to persist alerts
+// next to the journal, and mount HealthzHandler/AlertsHandler (package
+// health) or webui.Server.SetHealth to surface it over HTTP.
+func NewHealthEngine(cfg HealthConfig, o *Observer) (*HealthEngine, error) {
+	return health.New(cfg, o)
+}
+
+// ReadAlerts loads an alerts.jsonl file, folding per-transition lines
+// into the latest state of each alert.
+func ReadAlerts(path string) ([]Alert, error) { return health.ReadAlerts(path) }
 
 // ParseFaultPlan parses the compact CLI fault specification, e.g.
 // "transient=0.05;crash=1@2;slowdown=0.1;seed=7".

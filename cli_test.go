@@ -5,11 +5,13 @@ package a4nn
 // CLIs, the way a user would.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTools compiles the cmd binaries once into a shared temp dir.
@@ -108,6 +110,61 @@ func TestCLIPipeline(t *testing.T) {
 		"-generations", "2", "-seed", "5", "-replay", store)
 	if !strings.Contains(out, "replayed:           8") {
 		t.Fatalf("replay output:\n%s", out)
+	}
+}
+
+// TestCLISignalFlush interrupts a long search mid-run and checks that
+// the exit path still flushes every telemetry sink — spans, metrics,
+// events, and the health monitor's alerts.jsonl — before the process
+// dies, so a crashed or cancelled run is as analyzable as a finished one.
+func TestCLISignalFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI in -short mode")
+	}
+	bins := buildTools(t, "a4nn")
+	store := filepath.Join(t.TempDir(), "runs")
+
+	// A search far too large to finish: the interrupt must end it.
+	cmd := exec.Command(bins["a4nn"], "-beam", "medium", "-population", "100",
+		"-offspring", "100", "-generations", "500", "-seed", "7",
+		"-store", store, "-events", "-health")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the journal file exists (setup is done and the signal
+	// handler is installed), then let the search run a moment.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(store, "events.jsonl")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("events.jsonl never appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if err == nil {
+		t.Fatal("interrupted run exited zero")
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("stderr missing interrupt notice:\n%s", stderr.String())
+	}
+
+	// Every sink flushed on the way out.
+	for _, name := range []string{"events.jsonl", "spans.jsonl", "metrics.json", "alerts.jsonl"} {
+		if _, err := os.Stat(filepath.Join(store, name)); err != nil {
+			t.Errorf("%s not flushed after SIGINT: %v", name, err)
+		}
 	}
 }
 

@@ -16,18 +16,21 @@
 //	a4nn-analyze -store DIR gens              # per-generation convergence
 //	a4nn-analyze -store DIR telemetry         # utilisation, queue wait, savings
 //	a4nn-analyze -store DIR profile           # per-layer time and FLOP breakdown
+//	a4nn-analyze -store DIR health            # alert history from the health monitor
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"a4nn/internal/analyzer"
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
+	"a4nn/internal/health"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
 )
@@ -148,6 +151,14 @@ func main() {
 			fatal(fmt.Errorf("load telemetry: %w (record it with cmd/a4nn -profile-layers -store)", err))
 		}
 		fmt.Print(analyzer.FormatLayerProfile(&t.Metrics))
+	case "health":
+		// The health engine appends alert transitions next to the lineage
+		// records; fold them into each alert's final state.
+		alerts, err := health.ReadAlerts(filepath.Join(*storeDir, health.AlertsFile))
+		if err != nil {
+			fatal(fmt.Errorf("load alerts: %w (record them with cmd/a4nn -health -store)", err))
+		}
+		fmt.Print(analyzer.FormatAlerts(alerts))
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	a4nn-serve -store ./runs -addr :8080
-//	a4nn-serve -store ./runs -follow        # + live /events SSE and /dashboard
+//	a4nn-serve -store ./runs -follow          # + live /events SSE and /dashboard
+//	a4nn-serve -store ./runs -follow -health  # + /healthz and /api/alerts
 //	curl localhost:8080/api/summary
 //	curl localhost:8080/api/records/<id>/dot | dot -Tsvg > model.svg
 package main
@@ -25,20 +26,29 @@ import (
 	"time"
 
 	"a4nn/internal/commons"
+	"a4nn/internal/health"
 	"a4nn/internal/obs"
 	"a4nn/internal/webui"
 )
 
 func main() {
 	var (
-		storeDir = flag.String("store", "", "data commons directory (required)")
-		addr     = flag.String("addr", "localhost:8080", "listen address")
-		follow   = flag.Bool("follow", false, "tail the store's events.jsonl and stream it live on /events and /dashboard")
+		storeDir  = flag.String("store", "", "data commons directory (required)")
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		follow    = flag.Bool("follow", false, "tail the store's events.jsonl and stream it live on /events and /dashboard")
+		healthOn  = flag.Bool("health", false, "run the in-situ health monitor over the followed event stream and serve /healthz and /api/alerts (requires -follow)")
+		healthCfg = flag.String("health-config", "", `health thresholds (requires -health), e.g. "divergence-window=5;min-capacity=0.6"`)
 	)
 	flag.Parse()
 	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: a4nn-serve -store DIR [-addr host:port] [-follow]")
+		fmt.Fprintln(os.Stderr, "usage: a4nn-serve -store DIR [-addr host:port] [-follow [-health]]")
 		os.Exit(2)
+	}
+	if *healthOn && !*follow {
+		fatal(errors.New("-health needs -follow (the monitor consumes the live event stream)"))
+	}
+	if *healthCfg != "" && !*healthOn {
+		fatal(errors.New("-health-config needs -health"))
 	}
 	store, err := commons.Open(*storeDir)
 	if err != nil {
@@ -64,6 +74,23 @@ func main() {
 		// live dashboard for a run it did not start.
 		observer := obs.NewObserver()
 		srv.SetObserver(observer)
+		if *healthOn {
+			// Sidecar monitoring: the engine watches the same event stream
+			// the dashboard renders, so a plain viewer process doubles as
+			// the alerting endpoint for a search running elsewhere.
+			cfg, err := health.ParseConfig(*healthCfg)
+			if err != nil {
+				fatal(err)
+			}
+			eng, err := health.New(cfg, observer)
+			if err != nil {
+				fatal(err)
+			}
+			eng.Start()
+			defer eng.Close()
+			srv.SetHealth(eng)
+			fmt.Printf("health monitor on — http://%s/healthz\n", ln.Addr())
+		}
 		go obs.FollowFile(ctx, filepath.Join(*storeDir, obs.EventsFile), observer.Journal(), 0)
 		fmt.Printf("following %s — live dashboard on http://%s/dashboard\n",
 			filepath.Join(*storeDir, obs.EventsFile), ln.Addr())

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// flagSpec is the subset of the CLI surface whose combinations can
+// silently do nothing; validateFlags rejects the no-op pairings up
+// front (instead of running a long search and discarding the part the
+// user asked for) and returns warnings for combinations that are legal
+// but probably not what was meant. Pure function, unit-tested.
+type flagSpec struct {
+	Store       string // -store
+	Trace       string // -trace
+	MetricsAddr string // -metrics-addr
+	Snapshots   bool   // -snapshots
+	Events      bool   // -events
+	Pprof       bool   // -pprof
+	ProfLayers  bool   // -profile-layers
+	DataPath    string // -data
+	Health      bool   // -health
+	HealthSpec  string // -health-config
+	Strict      bool   // -health-strict
+}
+
+// flushDir is where telemetry lands: -trace wins, else the commons.
+func (f flagSpec) flushDir() string {
+	if f.Trace != "" {
+		return f.Trace
+	}
+	return f.Store
+}
+
+// validateFlags returns an error for flag combinations that would
+// silently no-op and advisory warnings for dubious-but-legal ones.
+func validateFlags(f flagSpec) (warnings []string, err error) {
+	if f.Events && f.flushDir() == "" {
+		return nil, errors.New("-events needs a telemetry directory: set -store or -trace")
+	}
+	if f.Pprof && f.MetricsAddr == "" {
+		return nil, errors.New("-pprof needs -metrics-addr")
+	}
+	if f.Snapshots && f.Store == "" {
+		return nil, errors.New("-snapshots needs -store (snapshots live inside the data commons)")
+	}
+	if f.HealthSpec != "" && !f.Health {
+		return nil, errors.New("-health-config needs -health")
+	}
+	if f.Strict && !f.Health {
+		return nil, errors.New("-health-strict needs -health")
+	}
+	if f.Health && f.flushDir() == "" && f.MetricsAddr == "" && !f.Strict {
+		warnings = append(warnings,
+			"-health without -store/-trace (alerts.jsonl), -metrics-addr (/healthz), or -health-strict only prints a summary at exit")
+	}
+	if f.ProfLayers && f.DataPath == "" {
+		warnings = append(warnings,
+			"-profile-layers only accounts real training; the surrogate trainer (no -data) decodes no networks")
+	}
+	return warnings, nil
+}
+
+// printWarnings reports advisory flag warnings on stderr.
+func printWarnings(warnings []string) {
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "a4nn: warning:", w)
+	}
+}

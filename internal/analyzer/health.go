@@ -1,0 +1,56 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"a4nn/internal/health"
+)
+
+// FormatAlerts renders an alert history loaded from alerts.jsonl — one
+// row per alert in firing order, then an aggregate line — the
+// post-mortem counterpart of the live /healthz endpoint.
+func FormatAlerts(alerts []health.Alert) string {
+	if len(alerts) == 0 {
+		return "no alerts: the run's health monitor recorded nothing (or was off — run cmd/a4nn with -health)\n"
+	}
+	var rows [][]string
+	active, critical := 0, 0
+	for _, a := range alerts {
+		state := "active"
+		if a.Resolved {
+			state = fmt.Sprintf("resolved after %s", durationOf(a.FiredAt, a.ResolvedAt))
+		} else {
+			active++
+			if a.Severity == health.SevCritical {
+				critical++
+			}
+		}
+		rows = append(rows, []string{
+			time.Unix(0, a.FiredAt).Format("15:04:05"),
+			string(a.Severity),
+			a.ID,
+			fmt.Sprint(a.Count),
+			state,
+			a.Message,
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString(FormatTable([]string{"fired", "severity", "alert", "count", "state", "message"}, rows))
+	fmt.Fprintf(&sb, "\n%d alert(s): %d still active", len(alerts), active)
+	if critical > 0 {
+		fmt.Fprintf(&sb, " (%d critical — the run ended unhealthy)", critical)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// durationOf renders the span between two unix-nano stamps compactly.
+func durationOf(from, to int64) string {
+	d := time.Duration(to - from)
+	if d < 0 {
+		d = 0
+	}
+	return d.Round(time.Millisecond).String()
+}

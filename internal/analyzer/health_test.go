@@ -1,0 +1,42 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"a4nn/internal/health"
+)
+
+func TestFormatAlerts(t *testing.T) {
+	base := time.Date(2026, 8, 5, 9, 30, 0, 0, time.Local).UnixNano()
+	alerts := []health.Alert{
+		{
+			ID: "divergence/model-3", Monitor: "divergence", Key: "model-3",
+			Severity: health.SevCritical, Message: "loss rising for 4 consecutive epochs",
+			Count: 4, FiredAt: base, Resolved: true,
+			ResolvedAt: base + int64(90*time.Second),
+		},
+		{
+			ID: "devices/capacity", Monitor: "devices", Key: "capacity",
+			Severity: health.SevCritical, Message: "1/4 devices alive",
+			Count: 12, FiredAt: base + int64(time.Minute),
+		},
+	}
+	got := FormatAlerts(alerts)
+	for _, want := range []string{
+		"divergence/model-3", "resolved after 1m30s",
+		"devices/capacity", "active", "critical",
+		"2 alert(s): 1 still active (1 critical — the run ended unhealthy)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("alerts output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFormatAlertsEmpty(t *testing.T) {
+	if got := FormatAlerts(nil); !strings.Contains(got, "no alerts") {
+		t.Fatalf("empty alerts rendered %q", got)
+	}
+}

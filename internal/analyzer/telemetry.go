@@ -47,5 +47,14 @@ func FormatTelemetry(t *obs.Telemetry) string {
 			t.Metrics.Counters["a4nn_events_subscribers_evicted_total"],
 			t.Metrics.Counters["a4nn_events_file_errors_total"])
 	}
+	info := t.Metrics.Counters[`a4nn_health_alerts_fired_total{severity="info"}`]
+	warn := t.Metrics.Counters[`a4nn_health_alerts_fired_total{severity="warning"}`]
+	crit := t.Metrics.Counters[`a4nn_health_alerts_fired_total{severity="critical"}`]
+	if checks := t.Metrics.Counters["a4nn_health_checks_total"]; checks > 0 {
+		fmt.Fprintf(&sb, "health: %d checks · alerts fired: %d critical / %d warning / %d info · %d resolved · %.0f active at exit\n",
+			checks, crit, warn, info,
+			t.Metrics.Counters["a4nn_health_alerts_resolved_total"],
+			t.Metrics.Gauges["a4nn_health_alerts_active"])
+	}
 	return sb.String()
 }

@@ -39,9 +39,33 @@ func TestFormatTelemetry(t *testing.T) {
 			t.Fatalf("telemetry output missing %q:\n%s", want, got)
 		}
 	}
-	// Without event counters there must be no events line.
+	// Without event counters there must be no events line, and without
+	// health counters no health line.
 	if strings.Contains(got, "events:") {
 		t.Fatalf("unexpected events line:\n%s", got)
+	}
+	if strings.Contains(got, "health:") {
+		t.Fatalf("unexpected health line:\n%s", got)
+	}
+}
+
+func TestFormatTelemetryHealthSection(t *testing.T) {
+	tel := &obs.Telemetry{
+		Generations: []obs.GenTelemetry{{Generation: 0, Tasks: 1}},
+		Metrics: obs.Snapshot{
+			Counters: map[string]uint64{
+				"a4nn_health_checks_total":                            420,
+				`a4nn_health_alerts_fired_total{severity="critical"}`: 2,
+				`a4nn_health_alerts_fired_total{severity="warning"}`:  3,
+				"a4nn_health_alerts_resolved_total":                   4,
+			},
+			Gauges: map[string]float64{"a4nn_health_alerts_active": 1},
+		},
+	}
+	got := FormatTelemetry(tel)
+	want := "health: 420 checks · alerts fired: 2 critical / 3 warning / 0 info · 4 resolved · 1 active at exit"
+	if !strings.Contains(got, want) {
+		t.Fatalf("health line missing or wrong:\n%s", got)
 	}
 }
 

@@ -181,6 +181,7 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 			Model:      evModel,
 			Epoch:      e,
 			ValAcc:     metrics.ValAccuracy,
+			Loss:       metrics.TrainLoss,
 			SimSeconds: epochCost,
 		})
 		if rec != nil {

@@ -1,0 +1,41 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"a4nn/internal/obs"
+)
+
+// BenchmarkDisabledHealth proves the disabled monitor costs one nil
+// check and zero allocations on the event path — the contract that
+// lets Observe sit on hot emitters unconditionally. Gated at 0
+// allocs/op by make bench-gate.
+func BenchmarkDisabledHealth(b *testing.B) {
+	var e *Engine
+	ev := obs.Event{Type: obs.EventEpoch, Model: "m", Epoch: 3, ValAcc: 71.2, Loss: 0.41}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(ev)
+	}
+}
+
+// BenchmarkHealthObserve measures the enabled per-event cost: every
+// monitor's observe plus a full check cycle against the alert manager.
+func BenchmarkHealthObserve(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.SampleInterval = time.Hour // keep runtime/metrics reads out of the loop
+	e, err := New(cfg, obs.NewObserver())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := obs.Event{Type: obs.EventEpoch, Model: "m", Epoch: 3, ValAcc: 71.2, Loss: 0.41}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Epoch = i
+		ev.ValAcc = 60 + float64(i%20)
+		e.Observe(ev)
+	}
+}

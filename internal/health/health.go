@@ -1,0 +1,581 @@
+// Package health is the workflow's in-situ health monitor: a streaming
+// engine that consumes the run's own analytics — the event journal's
+// broker, the metrics registry, and the Go runtime — and turns them
+// into actionable alerts while the search is still running. It is the
+// "act on it" counterpart of the observability stack's "record it":
+// the paper's whole premise is intervening on partial signals
+// mid-search, and the health engine applies the same idea to the
+// search process itself.
+//
+// Monitors: training divergence (NaN/Inf, rising loss, accuracy
+// collapse), learning-curve plateau, prediction-engine miscalibration
+// (rolling |predicted−actual| from termination events), device-pool
+// degradation (dead devices, straggler rate, capacity floor), queue
+// saturation (mean wait vs a warmup baseline), journal/broker
+// backpressure (drop and file-error counters), and a runtime/metrics
+// sampler (goroutines, heap growth, GC pause p99).
+//
+// Findings feed an alert manager with severities, deduplication
+// (repeats bump a Count), flap suppression (an alert resolves only
+// after ResolveAfter consecutive clean checks), and resolve tracking.
+// Alerts append crash-safely to alerts.jsonl, re-emit as typed journal
+// events (so the SSE stream and follow mode carry them for free), and
+// surface via the /healthz and /api/alerts handlers.
+//
+// Like the rest of the observability stack, disabled health is free: a
+// nil *Engine's Observe is one nil check and zero allocations
+// (BenchmarkDisabledHealth, gated by make bench-gate).
+package health
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"a4nn/internal/obs"
+)
+
+// Config tunes the monitors and the alert lifecycle. The zero value of
+// any field selects its default; DefaultConfig returns them all.
+type Config struct {
+	// DivergenceWindow is how many consecutive epochs of rising loss
+	// fire the divergence alert (default 3).
+	DivergenceWindow int
+	// DivergenceDrop is the accuracy collapse threshold: points below
+	// the model's best validation accuracy (default 20).
+	DivergenceDrop float64
+	// PlateauWindow and PlateauEpsilon define a flat learning curve:
+	// accuracy moving ≤ Epsilon points across Window epochs (defaults
+	// 8 and 0.05).
+	PlateauWindow  int
+	PlateauEpsilon float64
+	// CalibrationWindow and CalibrationTolerance bound the prediction
+	// engine's rolling mean |predicted − actual| at termination
+	// (defaults 8 terminations and 5 accuracy points).
+	CalibrationWindow    int
+	CalibrationTolerance float64
+	// MinCapacity is the alive/total device fraction below which pool
+	// degradation escalates from warning to critical (default 0.5).
+	MinCapacity float64
+	// StragglerRate is the warning threshold on straggler events per
+	// device-generation (default 0.3).
+	StragglerRate float64
+	// QueueFactor and QueueMinWait gate queue-saturation alerts: a
+	// generation's mean queue wait must exceed Factor × the warmup
+	// baseline and the MinWait absolute floor in simulated seconds
+	// (defaults 3 and 1).
+	QueueFactor  float64
+	QueueMinWait float64
+	// SampleInterval throttles the runtime/metrics sampler and paces
+	// the engine's periodic check when no events flow (default 5s).
+	SampleInterval time.Duration
+	// MaxGoroutines, HeapGrowthFactor, and GCPauseP99 are the runtime
+	// sampler's warning thresholds (defaults 2000, ×4, 50ms). Zero
+	// keeps the default; a negative MaxGoroutines disables that check.
+	MaxGoroutines    int
+	HeapGrowthFactor float64
+	GCPauseP99       time.Duration
+	// ResolveAfter is the flap-suppression window: an active alert
+	// resolves only after this many consecutive checks in which its
+	// monitor stayed quiet (default 3).
+	ResolveAfter int
+	// SubscriberBuffer sizes the engine's broker subscription; the
+	// default (4096) comfortably holds a generation's burst.
+	SubscriberBuffer int
+}
+
+// DefaultConfig returns the default thresholds described on Config.
+func DefaultConfig() Config {
+	return Config{
+		DivergenceWindow:     3,
+		DivergenceDrop:       20,
+		PlateauWindow:        8,
+		PlateauEpsilon:       0.05,
+		CalibrationWindow:    8,
+		CalibrationTolerance: 5,
+		MinCapacity:          0.5,
+		StragglerRate:        0.3,
+		QueueFactor:          3,
+		QueueMinWait:         1,
+		SampleInterval:       5 * time.Second,
+		MaxGoroutines:        2000,
+		HeapGrowthFactor:     4,
+		GCPauseP99:           50 * time.Millisecond,
+		ResolveAfter:         3,
+		SubscriberBuffer:     4096,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.DivergenceWindow <= 0 {
+		c.DivergenceWindow = d.DivergenceWindow
+	}
+	if c.DivergenceDrop <= 0 {
+		c.DivergenceDrop = d.DivergenceDrop
+	}
+	if c.PlateauWindow <= 0 {
+		c.PlateauWindow = d.PlateauWindow
+	}
+	if c.PlateauEpsilon <= 0 {
+		c.PlateauEpsilon = d.PlateauEpsilon
+	}
+	if c.CalibrationWindow <= 0 {
+		c.CalibrationWindow = d.CalibrationWindow
+	}
+	if c.CalibrationTolerance <= 0 {
+		c.CalibrationTolerance = d.CalibrationTolerance
+	}
+	if c.MinCapacity <= 0 {
+		c.MinCapacity = d.MinCapacity
+	}
+	if c.StragglerRate <= 0 {
+		c.StragglerRate = d.StragglerRate
+	}
+	if c.QueueFactor <= 0 {
+		c.QueueFactor = d.QueueFactor
+	}
+	if c.QueueMinWait <= 0 {
+		c.QueueMinWait = d.QueueMinWait
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = d.SampleInterval
+	}
+	if c.MaxGoroutines == 0 {
+		c.MaxGoroutines = d.MaxGoroutines
+	}
+	if c.HeapGrowthFactor <= 0 {
+		c.HeapGrowthFactor = d.HeapGrowthFactor
+	}
+	if c.GCPauseP99 <= 0 {
+		c.GCPauseP99 = d.GCPauseP99
+	}
+	if c.ResolveAfter <= 0 {
+		c.ResolveAfter = d.ResolveAfter
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = d.SubscriberBuffer
+	}
+	return c
+}
+
+// ParseConfig parses the compact CLI specification accepted by
+// -health-config, mirroring the fault-plan syntax: key=value pairs
+// separated by ';' or ','. Keys:
+//
+//	divergence-window=3   divergence-drop=20
+//	plateau-window=8      plateau-eps=0.05
+//	calibration-window=8  calibration-tol=5
+//	min-capacity=0.5      straggler-rate=0.3
+//	queue-factor=3        queue-min-wait=1
+//	sample-ms=5000        max-goroutines=2000
+//	heap-growth=4         gc-pause-ms=50
+//	resolve-after=3
+//
+// Unset keys keep their defaults. An empty spec returns DefaultConfig.
+func ParseConfig(spec string) (Config, error) {
+	cfg := DefaultConfig()
+	for _, kv := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("health: bad config entry %q (want key=value)", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		intVal := func(dst *int) error {
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("health: %s wants a positive integer, got %q", key, val)
+			}
+			*dst = n
+			return nil
+		}
+		floatVal := func(dst *float64) error {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("health: %s wants a positive number, got %q", key, val)
+			}
+			*dst = f
+			return nil
+		}
+		msVal := func(dst *time.Duration) error {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return fmt.Errorf("health: %s wants positive milliseconds, got %q", key, val)
+			}
+			*dst = time.Duration(f * float64(time.Millisecond))
+			return nil
+		}
+		var err error
+		switch key {
+		case "divergence-window":
+			err = intVal(&cfg.DivergenceWindow)
+		case "divergence-drop":
+			err = floatVal(&cfg.DivergenceDrop)
+		case "plateau-window":
+			err = intVal(&cfg.PlateauWindow)
+		case "plateau-eps":
+			err = floatVal(&cfg.PlateauEpsilon)
+		case "calibration-window":
+			err = intVal(&cfg.CalibrationWindow)
+		case "calibration-tol":
+			err = floatVal(&cfg.CalibrationTolerance)
+		case "min-capacity":
+			err = floatVal(&cfg.MinCapacity)
+		case "straggler-rate":
+			err = floatVal(&cfg.StragglerRate)
+		case "queue-factor":
+			err = floatVal(&cfg.QueueFactor)
+		case "queue-min-wait":
+			err = floatVal(&cfg.QueueMinWait)
+		case "sample-ms":
+			err = msVal(&cfg.SampleInterval)
+		case "max-goroutines":
+			err = intVal(&cfg.MaxGoroutines)
+		case "heap-growth":
+			err = floatVal(&cfg.HeapGrowthFactor)
+		case "gc-pause-ms":
+			err = msVal(&cfg.GCPauseP99)
+		case "resolve-after":
+			err = intVal(&cfg.ResolveAfter)
+		default:
+			err = fmt.Errorf("health: unknown config key %q", key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.MinCapacity > 1 {
+		return cfg, fmt.Errorf("health: min-capacity is a fraction, got %v", cfg.MinCapacity)
+	}
+	return cfg, nil
+}
+
+// Status is the aggregate health of a run.
+type Status int
+
+// Aggregate statuses, worsening.
+const (
+	StatusOK       Status = iota // no active warning or critical alerts
+	StatusDegraded               // active warnings (info alerts never degrade)
+	StatusCritical               // at least one active critical alert
+)
+
+// String returns "ok", "degraded", or "critical".
+func (s Status) String() string {
+	switch s {
+	case StatusCritical:
+		return "critical"
+	case StatusDegraded:
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// MonitorStatus is one monitor's row in a Report.
+type MonitorStatus struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Active int    `json:"active"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the /healthz payload: the aggregate status plus
+// per-monitor detail and the active alert list.
+type Report struct {
+	Status   string          `json:"status"`
+	Checks   uint64          `json:"checks"`
+	Active   int             `json:"active_alerts"`
+	Critical int             `json:"critical_alerts"`
+	Monitors []MonitorStatus `json:"monitors"`
+	Alerts   []Alert         `json:"alerts,omitempty"`
+}
+
+// Engine evaluates the monitors over a run's event stream and
+// registry. Feed it events synchronously with Observe, or let Start
+// subscribe it to the observer's broker and consume in the background;
+// either way all evaluation happens on one goroutine at a time under
+// the engine's mutex, so monitors are simple single-threaded state
+// machines.
+//
+// A nil *Engine is the disabled monitor: Observe costs one nil check
+// and zero allocations, Status reports ok, and lifecycle methods are
+// no-ops.
+type Engine struct {
+	cfg Config
+	obs *obs.Observer
+
+	mu       sync.Mutex
+	monitors []monitor
+	mgr      *manager
+	scratch  []finding // reused across checks
+	sub      *obs.Subscriber
+	done     chan struct{}
+
+	checks *obs.Counter
+}
+
+// New builds an engine over the observer's journal and registry. The
+// observer must be non-nil — health consumes the event stream, so a
+// run without observability has nothing to monitor.
+func New(cfg Config, o *obs.Observer) (*Engine, error) {
+	if o == nil {
+		return nil, fmt.Errorf("health: nil observer (health monitoring needs the event journal; enable observability first)")
+	}
+	cfg = cfg.withDefaults()
+	reg := o.Registry()
+	e := &Engine{
+		cfg: cfg,
+		obs: o,
+		monitors: []monitor{
+			newDivergence(cfg),
+			newPlateau(cfg),
+			newCalibration(cfg),
+			newDevicepool(cfg),
+			newQueuewait(cfg, reg),
+			newBackpressure(reg),
+			newRuntimeMon(cfg, reg),
+		},
+		mgr:    newManager(cfg.ResolveAfter, o),
+		checks: reg.Counter("a4nn_health_checks_total"),
+	}
+	return e, nil
+}
+
+// OpenAlertsFile attaches the crash-safe alerts.jsonl sink at path.
+// Call before Start; alerts fired earlier live only in memory.
+func (e *Engine) OpenAlertsFile(path string) error {
+	if e == nil {
+		return fmt.Errorf("health: OpenAlertsFile on nil engine")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mgr.openFile(path)
+}
+
+// Observe feeds one event through every monitor and runs a check
+// cycle. It is the synchronous entry point (Start pumps the broker
+// into it); alert events — including the engine's own re-emissions —
+// are skipped, so the engine never feeds back into itself. Nil-safe
+// and allocation-free when disabled.
+func (e *Engine) Observe(ev obs.Event) {
+	if e == nil {
+		return
+	}
+	if ev.Type == obs.EventAlert || ev.Type == obs.EventAlertResolved {
+		return
+	}
+	e.mu.Lock()
+	for _, m := range e.monitors {
+		m.observe(ev)
+	}
+	e.checkLocked()
+	e.mu.Unlock()
+}
+
+// Check runs one evaluation cycle without an event — the periodic
+// path that keeps the runtime sampler and resolve tracking moving when
+// the search is quiet. Nil-safe.
+func (e *Engine) Check() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.checkLocked()
+	e.mu.Unlock()
+}
+
+// checkLocked gathers every monitor's findings and applies them to the
+// alert manager. Caller holds e.mu.
+func (e *Engine) checkLocked() {
+	e.scratch = e.scratch[:0]
+	for _, m := range e.monitors {
+		e.scratch = m.check(e.scratch)
+	}
+	e.mgr.apply(e.scratch)
+	e.checks.Inc()
+}
+
+// Start subscribes the engine to the observer's broker and consumes
+// events on a background goroutine, with a periodic tick at
+// SampleInterval for the runtime sampler. Call Close to drain and
+// stop. Calling Start twice, or on a nil engine, is a no-op.
+func (e *Engine) Start() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.sub != nil {
+		e.mu.Unlock()
+		return
+	}
+	sub := e.obs.Journal().Subscribe(e.cfg.SubscriberBuffer)
+	done := make(chan struct{})
+	e.sub, e.done = sub, done
+	interval := e.cfg.SampleInterval
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case ev, ok := <-sub.C():
+				if !ok {
+					return // Close drained us, or the broker evicted us
+				}
+				e.Observe(ev)
+			case <-tick.C:
+				e.Check()
+			}
+		}
+	}()
+}
+
+// Close drains the subscription (events already queued are still
+// evaluated), runs a final check, snapshots active alerts into
+// alerts.jsonl, and syncs and releases the file. Safe to call without
+// Start, more than once, and on a nil engine.
+func (e *Engine) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	sub, done := e.sub, e.done
+	e.sub, e.done = nil, nil
+	e.mu.Unlock()
+	if sub != nil {
+		// Closing the subscriber closes its channel; the pump goroutine
+		// still receives everything buffered before seeing !ok.
+		sub.Close()
+		<-done
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.checkLocked()
+	return e.mgr.close()
+}
+
+// Status returns the aggregate status (StatusOK on a nil engine).
+func (e *Engine) Status() Status {
+	if e == nil {
+		return StatusOK
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mgr.status()
+}
+
+// ActiveAlerts returns a copy of the active alerts, ordered by
+// FiredAt then ID. Nil-safe.
+func (e *Engine) ActiveAlerts() []Alert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, 0, len(e.mgr.active))
+	for _, id := range sortedAlertIDs(e.mgr.active) {
+		out = append(out, *e.mgr.active[id])
+	}
+	sortAlerts(out)
+	return out
+}
+
+// ResolvedAlerts returns the bounded in-memory resolved history,
+// oldest first. Nil-safe.
+func (e *Engine) ResolvedAlerts() []Alert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.mgr.resolved...)
+}
+
+// CriticalActive counts active critical alerts (the -health-strict
+// exit condition). Nil-safe.
+func (e *Engine) CriticalActive() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, a := range e.mgr.active {
+		if a.Severity == SevCritical {
+			n++
+		}
+	}
+	return n
+}
+
+// Report builds the /healthz payload. Nil-safe: a nil engine reports
+// status ok with no monitors.
+func (e *Engine) Report() Report {
+	if e == nil {
+		return Report{Status: StatusOK.String()}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := Report{
+		Status: e.mgr.status().String(),
+		Checks: e.checks.Value(),
+		Active: len(e.mgr.active),
+	}
+	perMon := make(map[string][2]int) // active, worst severity rank
+	for _, a := range e.mgr.active {
+		v := perMon[a.Monitor]
+		v[0]++
+		if r := a.Severity.rank(); r > v[1] {
+			v[1] = r
+		}
+		perMon[a.Monitor] = v
+		if a.Severity == SevCritical {
+			rep.Critical++
+		}
+	}
+	for _, m := range e.monitors {
+		v := perMon[m.name()]
+		st := StatusOK
+		switch v[1] {
+		case SevCritical.rank():
+			st = StatusCritical
+		case SevWarning.rank():
+			if v[0] > 0 {
+				st = StatusDegraded
+			}
+		}
+		rep.Monitors = append(rep.Monitors, MonitorStatus{
+			Name:   m.name(),
+			Status: st.String(),
+			Active: v[0],
+			Detail: m.detail(),
+		})
+	}
+	for _, id := range sortedAlertIDs(e.mgr.active) {
+		rep.Alerts = append(rep.Alerts, *e.mgr.active[id])
+	}
+	sortAlerts(rep.Alerts)
+	return rep
+}
+
+// sortAlerts orders by FiredAt then ID.
+func sortAlerts(alerts []Alert) {
+	for i := 1; i < len(alerts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &alerts[j-1], &alerts[j]
+			if a.FiredAt < b.FiredAt || (a.FiredAt == b.FiredAt && a.ID <= b.ID) {
+				break
+			}
+			alerts[j-1], alerts[j] = *b, *a
+		}
+	}
+}

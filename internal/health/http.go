@@ -1,0 +1,51 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// HealthzHandler serves GET /healthz: the engine's Report as JSON with
+// status 200 while the run is ok or degraded and 503 once any critical
+// alert is active — load balancers and `curl -f` treat the run as down
+// exactly when the monitor does. A nil engine reports ok (monitoring
+// disabled is not an outage).
+func HealthzHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := e.Report()
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Status == StatusCritical.String() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}
+
+// AlertsHandler serves GET /api/alerts: the active alerts plus the
+// bounded in-memory resolved history.
+func AlertsHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Status   string  `json:"status"`
+			Active   []Alert `json:"active"`
+			Resolved []Alert `json:"resolved"`
+		}{
+			Status:   e.Status().String(),
+			Active:   orEmpty(e.ActiveAlerts()),
+			Resolved: orEmpty(e.ResolvedAlerts()),
+		})
+	})
+}
+
+// orEmpty keeps the JSON arrays as [] rather than null.
+func orEmpty(a []Alert) []Alert {
+	if a == nil {
+		return []Alert{}
+	}
+	return a
+}

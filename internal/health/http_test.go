@@ -1,0 +1,88 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"a4nn/internal/obs"
+)
+
+func TestHealthzStatusCodes(t *testing.T) {
+	e, _ := testEngine(t, testConfig())
+	h := HealthzHandler(e)
+
+	get := func() (*httptest.ResponseRecorder, Report) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var rep Report
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return rec, rep
+	}
+
+	if rec, rep := get(); rec.Code != 200 || rep.Status != "ok" {
+		t.Fatalf("fresh engine: code %d status %q", rec.Code, rep.Status)
+	}
+
+	// A warning degrades but stays 200.
+	e.Observe(obs.Event{Type: obs.EventRunStart, Devices: 4})
+	e.Observe(obs.Event{Type: obs.EventGenerationStart, Gen: 1, Devices: 3})
+	if rec, rep := get(); rec.Code != 200 || rep.Status != "degraded" {
+		t.Fatalf("degraded engine: code %d status %q", rec.Code, rep.Status)
+	}
+
+	// A critical alert flips /healthz to 503.
+	e.Observe(obs.Event{Type: obs.EventGenerationStart, Gen: 2, Devices: 1})
+	rec, rep := get()
+	if rec.Code != 503 || rep.Status != "critical" {
+		t.Fatalf("critical engine: code %d status %q", rec.Code, rep.Status)
+	}
+	if rep.Critical != 1 || len(rep.Alerts) == 0 {
+		t.Fatalf("critical report = %+v", rep)
+	}
+}
+
+func TestHealthzNilEngine(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthzHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil engine healthz = %d, want 200", rec.Code)
+	}
+}
+
+func TestAlertsHandler(t *testing.T) {
+	e, _ := testEngine(t, testConfig())
+	e.Observe(obs.Event{Type: obs.EventRunStart, Devices: 4})
+	e.Observe(obs.Event{Type: obs.EventGenerationStart, Gen: 1, Devices: 3})
+	// Recover and resolve (ResolveAfter=2).
+	e.Observe(obs.Event{Type: obs.EventGenerationStart, Gen: 2, Devices: 4})
+	e.Check()
+	// Degrade again so both lists are populated.
+	e.Observe(obs.Event{Type: obs.EventGenerationStart, Gen: 3, Devices: 3})
+
+	rec := httptest.NewRecorder()
+	AlertsHandler(e).ServeHTTP(rec, httptest.NewRequest("GET", "/api/alerts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("alerts code = %d", rec.Code)
+	}
+	var body struct {
+		Status   string  `json:"status"`
+		Active   []Alert `json:"active"`
+		Resolved []Alert `json:"resolved"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" {
+		t.Fatalf("status = %q", body.Status)
+	}
+	if len(body.Active) != 1 || body.Active[0].ID != "devices/capacity" {
+		t.Fatalf("active = %+v", body.Active)
+	}
+	if len(body.Resolved) != 1 || !body.Resolved[0].Resolved {
+		t.Fatalf("resolved = %+v", body.Resolved)
+	}
+}

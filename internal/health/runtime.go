@@ -1,0 +1,175 @@
+package health
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"time"
+
+	"a4nn/internal/obs"
+)
+
+// The stdlib runtime/metrics series the sampler reads. Names are
+// stable since Go 1.17/1.22.
+const (
+	goroutinesMetric = "/sched/goroutines:goroutines"
+	heapMetric       = "/memory/classes/heap/objects:bytes"
+	gcPauseMetric    = "/sched/pauses/total/gc:seconds"
+)
+
+// runtimeMon samples the Go runtime at most once per SampleInterval
+// (checks between samples reuse the cached reading): goroutine count,
+// live heap bytes, and the p99 GC pause from the runtime's cumulative
+// pause histogram. The readings publish as a4nn_health_* gauges so
+// they flush into metrics.json with everything else; threshold
+// breaches fire warnings — a leaking search process is the kind of
+// slow in-situ failure nothing else in the stack would ever report.
+type runtimeMon struct {
+	interval      time.Duration
+	maxGoroutines int
+	heapGrowth    float64
+	gcPauseP99    time.Duration
+
+	now     func() time.Time
+	samples []metrics.Sample
+	last    time.Time
+	sampled bool
+
+	goroutines int
+	heapBytes  uint64
+	heapBase   uint64 // first observed heap size, the growth reference
+	pauseP99   float64
+
+	gGoroutines *obs.Gauge
+	gHeap       *obs.Gauge
+	gPause      *obs.Gauge
+}
+
+func newRuntimeMon(cfg Config, reg *obs.Registry) *runtimeMon {
+	return &runtimeMon{
+		interval:      cfg.SampleInterval,
+		maxGoroutines: cfg.MaxGoroutines,
+		heapGrowth:    cfg.HeapGrowthFactor,
+		gcPauseP99:    cfg.GCPauseP99,
+		now:           time.Now,
+		samples: []metrics.Sample{
+			{Name: goroutinesMetric},
+			{Name: heapMetric},
+			{Name: gcPauseMetric},
+		},
+		gGoroutines: reg.Gauge("a4nn_health_goroutines"),
+		gHeap:       reg.Gauge("a4nn_health_heap_bytes"),
+		gPause:      reg.Gauge("a4nn_health_gc_pause_p99_seconds"),
+	}
+}
+
+func (r *runtimeMon) name() string { return "runtime" }
+
+func (r *runtimeMon) observe(obs.Event) {}
+
+// sample reads the runtime, throttled to the configured interval.
+func (r *runtimeMon) sample() {
+	now := r.now()
+	if r.sampled && now.Sub(r.last) < r.interval {
+		return
+	}
+	r.last = now
+	metrics.Read(r.samples)
+	for _, s := range r.samples {
+		switch s.Name {
+		case goroutinesMetric:
+			if s.Value.Kind() == metrics.KindUint64 {
+				r.goroutines = int(s.Value.Uint64())
+			}
+		case heapMetric:
+			if s.Value.Kind() == metrics.KindUint64 {
+				r.heapBytes = s.Value.Uint64()
+				if !r.sampled {
+					r.heapBase = r.heapBytes
+				}
+			}
+		case gcPauseMetric:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				r.pauseP99 = histQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		}
+	}
+	r.sampled = true
+	r.gGoroutines.Set(float64(r.goroutines))
+	r.gHeap.Set(float64(r.heapBytes))
+	r.gPause.Set(r.pauseP99)
+}
+
+func (r *runtimeMon) check(out []finding) []finding {
+	r.sample()
+	if !r.sampled {
+		return out
+	}
+	if r.maxGoroutines > 0 && r.goroutines > r.maxGoroutines {
+		out = append(out, finding{
+			Monitor: r.name(), Key: "goroutines", Severity: SevWarning,
+			Message: fmt.Sprintf("goroutine count %d exceeds %d — a leak in the pool or a stuck subscriber",
+				r.goroutines, r.maxGoroutines),
+			Value: float64(r.goroutines), Threshold: float64(r.maxGoroutines),
+		})
+	}
+	if r.heapGrowth > 0 && r.heapBase > 0 && float64(r.heapBytes) > r.heapGrowth*float64(r.heapBase) {
+		out = append(out, finding{
+			Monitor: r.name(), Key: "heap", Severity: SevWarning,
+			Message: fmt.Sprintf("live heap grew to %.1f MiB, ×%.1f its first sample (%.1f MiB; threshold ×%.1f)",
+				float64(r.heapBytes)/(1<<20), float64(r.heapBytes)/float64(r.heapBase),
+				float64(r.heapBase)/(1<<20), r.heapGrowth),
+			Value: float64(r.heapBytes) / float64(r.heapBase), Threshold: r.heapGrowth,
+		})
+	}
+	if r.gcPauseP99 > 0 && r.pauseP99 > r.gcPauseP99.Seconds() {
+		out = append(out, finding{
+			Monitor: r.name(), Key: "gc", Severity: SevWarning,
+			Message: fmt.Sprintf("GC pause p99 %.1fms exceeds %.1fms",
+				1e3*r.pauseP99, 1e3*r.gcPauseP99.Seconds()),
+			Value: r.pauseP99, Threshold: r.gcPauseP99.Seconds(),
+		})
+	}
+	return out
+}
+
+func (r *runtimeMon) detail() string {
+	if !r.sampled {
+		return "not sampled yet"
+	}
+	return fmt.Sprintf("%d goroutines; heap %.1f MiB (×%.2f of first sample); GC pause p99 %.2fms",
+		r.goroutines, float64(r.heapBytes)/(1<<20),
+		float64(r.heapBytes)/float64(max(r.heapBase, 1)), 1e3*r.pauseP99)
+}
+
+// histQuantile returns the value at quantile q of a runtime/metrics
+// cumulative-bucket histogram (the upper edge of the bucket the
+// quantile falls in; -Inf/+Inf edges clamp to their finite neighbour).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			edge := h.Buckets[i+1]
+			if edge > 1e308 || edge != edge { // +Inf or NaN edge
+				edge = h.Buckets[i]
+			}
+			if edge < -1e308 {
+				edge = 0
+			}
+			return edge
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -32,6 +32,8 @@ const (
 	EventPredictConverge  = "predict_converge"
 	EventPredictTerminate = "predict_terminate"
 	EventParetoUpdate     = "pareto_update"
+	EventAlert            = "alert"
+	EventAlertResolved    = "alert_resolved"
 )
 
 // ParetoPoint is one model on the current Pareto front, carried by
@@ -60,6 +62,7 @@ type Event struct {
 	Devices int    `json:"devices,omitempty"`
 
 	ValAcc      float64 `json:"val_acc,omitempty"`
+	Loss        float64 `json:"loss,omitempty"`
 	Fitness     float64 `json:"fitness,omitempty"`
 	Predicted   float64 `json:"predicted,omitempty"`
 	Actual      float64 `json:"actual,omitempty"`
@@ -79,6 +82,13 @@ type Event struct {
 	Err         string    `json:"err,omitempty"`
 
 	Front []ParetoPoint `json:"front,omitempty"`
+
+	// Alert events (emitted by the health engine; see internal/health).
+	AlertID  string `json:"alert,omitempty"`
+	Monitor  string `json:"monitor,omitempty"`
+	Severity string `json:"severity,omitempty"`
+	Msg      string `json:"msg,omitempty"`
+	Count    int    `json:"count,omitempty"`
 }
 
 // DefaultJournalCapacity bounds the in-memory replay ring. At the

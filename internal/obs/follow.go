@@ -15,7 +15,17 @@ import (
 // polls for appended data every interval (a sane default is used when
 // interval <= 0), tolerates the file not existing yet, and never
 // ingests a torn final line — a partial line is retried once the
-// writer completes it. Blocks until ctx is done.
+// writer completes it.
+//
+// The follower also survives truncation and rotation: when the file
+// shrinks below the offset already consumed (a new run truncated it,
+// or the path was atomically replaced by a smaller file), it reopens
+// the path and resyncs from the start instead of tailing a stale
+// offset forever. A rotation that replaces the file with one of equal
+// or larger size is indistinguishable from an append by size alone
+// and is not detected — event journals only ever grow within a run,
+// so in practice rotation means "new, initially small file".
+// Blocks until ctx is done.
 func FollowFile(ctx context.Context, path string, j *Journal, interval time.Duration) error {
 	if j == nil {
 		return nil
@@ -26,6 +36,7 @@ func FollowFile(ctx context.Context, path string, j *Journal, interval time.Dura
 	var (
 		f       *os.File
 		rd      *bufio.Reader
+		offset  int64 // bytes consumed from the current file, partial included
 		partial []byte
 	)
 	defer func() {
@@ -43,6 +54,14 @@ func FollowFile(ctx context.Context, path string, j *Journal, interval time.Dura
 			return nil
 		}
 	}
+	reopen := func() {
+		if f != nil {
+			f.Close()
+		}
+		f, rd = nil, nil
+		offset = 0
+		partial = partial[:0]
+	}
 	for {
 		if f == nil {
 			var err error
@@ -54,9 +73,11 @@ func FollowFile(ctx context.Context, path string, j *Journal, interval time.Dura
 				continue
 			}
 			rd = bufio.NewReader(f)
+			offset = 0
 			partial = partial[:0]
 		}
 		line, err := rd.ReadBytes('\n')
+		offset += int64(len(line))
 		if len(line) > 0 && err == nil {
 			line = append(partial, line...)
 			partial = partial[:0]
@@ -72,8 +93,13 @@ func FollowFile(ctx context.Context, path string, j *Journal, interval time.Dura
 			partial = append(partial, line...)
 		}
 		if err != nil && err != io.EOF {
-			f.Close()
-			f = nil
+			reopen()
+		} else if fi, serr := os.Stat(path); serr != nil || fi.Size() < offset {
+			// The file shrank below what we already consumed (or the
+			// path vanished): it was truncated or rotated. Start over
+			// from the new file's beginning; Ingest keeps downstream
+			// sequence numbering monotonic.
+			reopen()
 		}
 		if err := wait(); err != nil {
 			return nil

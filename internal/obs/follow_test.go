@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// waitSeq polls until the journal has ingested an event with Seq >= want.
+func waitSeq(t *testing.T, j *Journal, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.LastSeq() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("journal never reached seq %d (at %d)", want, j.LastSeq())
+}
+
+// TestFollowFileTornTail checks that a partial final line is never
+// ingested early and is delivered once the writer completes it.
+func TestFollowFileTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, EventsFile)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	line := func(seq int) string {
+		return fmt.Sprintf(`{"seq":%d,"t":1,"type":"epoch","epoch":%d}`+"\n", seq, seq)
+	}
+	full := line(1) + line(2)
+	torn := line(3)
+	half := torn[:len(torn)/2]
+	if _, err := f.WriteString(full + half); err != nil {
+		t.Fatal(err)
+	}
+
+	j := NewJournal(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go FollowFile(ctx, path, j, time.Millisecond)
+
+	waitSeq(t, j, 2)
+	// The torn line must not have been ingested as garbage.
+	for _, e := range j.Since(0) {
+		if e.Seq == 3 {
+			t.Fatalf("torn line ingested early: %+v", e)
+		}
+	}
+	if _, err := f.WriteString(torn[len(half):]); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(t, j, 3)
+	evs := j.Since(2)
+	if len(evs) != 1 || evs[0].Epoch != 3 {
+		t.Fatalf("completed torn line = %+v", evs)
+	}
+}
+
+// TestFollowFileRotation checks that the follower detects a size shrink
+// (truncation or atomic replacement by a new, smaller file) and resyncs
+// from the new file instead of tailing a stale offset.
+func TestFollowFileRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, EventsFile)
+	line := func(seq int) string {
+		return fmt.Sprintf(`{"seq":%d,"t":1,"type":"epoch","epoch":%d}`+"\n", seq, seq)
+	}
+	// A long first run so the replacement is strictly smaller.
+	var first string
+	for i := 1; i <= 10; i++ {
+		first += line(i)
+	}
+	if err := os.WriteFile(path, []byte(first), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j := NewJournal(64)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go FollowFile(ctx, path, j, time.Millisecond)
+	waitSeq(t, j, 10)
+
+	// Rotate: atomically replace the journal with a shorter one whose
+	// sequence numbers continue (a resumed run re-opens its journal).
+	next := filepath.Join(dir, "next.jsonl")
+	if err := os.WriteFile(next, []byte(line(11)+line(12)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(next, path); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(t, j, 12)
+
+	// Truncate in place (a brand-new run recreated the file) and write
+	// an event with a fresh, low sequence number: the follower must
+	// still pick it up after resync.
+	if err := os.WriteFile(path, []byte(`{"seq":1,"t":2,"type":"run_start","devices":4}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, e := range j.Since(0) {
+			if e.Type == EventRunStart && e.Devices == 4 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never resynced after truncation; ring = %+v", j.Since(0))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

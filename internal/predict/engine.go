@@ -277,12 +277,15 @@ func (t *Tracker) Observe(fitness float64) (converged bool) {
 	t.converged = t.engine.Converged(t.P)
 	if t.converged {
 		t.engine.metrics.Convergences.Inc()
+		// Actual carries the fitness observed at the convergence epoch, so
+		// calibration monitors can track |predicted − actual| drift live.
 		t.engine.metrics.Events.Emit(obs.Event{
 			Type:      obs.EventPredictConverge,
 			Model:     t.Label,
 			Gen:       t.Gen,
 			Epoch:     len(t.H),
 			Predicted: t.P[len(t.P)-1],
+			Actual:    fitness,
 		})
 	}
 	return t.converged

@@ -425,9 +425,12 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 	}
 
 	p.mu.Lock()
+	aliveAfter := 0
 	for i := range g.alive {
 		if !g.alive[i] {
 			p.dead[i] = true
+		} else {
+			aliveAfter++
 		}
 	}
 	p.wall += rep.WallSeconds
@@ -465,6 +468,7 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 		Type:        obs.EventGenerationEnd,
 		Gen:         gen,
 		Tasks:       len(tasks),
+		Devices:     aliveAfter,
 		WallSeconds: rep.WallSeconds,
 		IdleSeconds: rep.IdleSeconds,
 		LostSeconds: rep.LostSeconds,

@@ -108,7 +108,9 @@ func DashboardHandler() http.Handler {
 // driven entirely by the /events SSE stream (no polling, no external
 // assets). It tracks generation progress, per-device utilization,
 // validation-accuracy sparklines, the accuracy-vs-MFLOPs Pareto
-// scatter, and the epochs saved by predictive termination.
+// scatter, the epochs saved by predictive termination, and — when the
+// health monitor is on — an alert strip fed by the alert events the
+// engine re-emits through the journal.
 const dashboardHTML = `<!DOCTYPE html>
 <html><head><title>A4NN live dashboard</title>
 <style>
@@ -123,8 +125,15 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
 #log { max-height: 10rem; overflow-y: auto; font-size: .8rem; color: #888; }
 .muted { color: #777; font-size: .85rem; }
 #conn { float: right; } .ok { color: #4c8; } .bad { color: #e66; }
+#alerts { max-width: 70rem; margin-bottom: 1rem; }
+.alert { border-left: 4px solid; padding: .3rem .7rem; margin: .25rem 0;
+  background: #1b1b1b; border-radius: 3px; font-size: .85rem; }
+.alert.info { border-color: #9cf; } .alert.warning { border-color: #ec5; color: #ec5; }
+.alert.critical { border-color: #e66; color: #e66; }
+.alert .cnt { float: right; color: #777; }
 </style></head><body>
 <h1>A4NN live dashboard <span id="conn" class="bad">connecting…</span></h1>
+<div id="alerts"></div>
 <div class="grid">
 <div class="card"><h2>Generation</h2>
   <div class="big" id="gen">–</div>
@@ -224,11 +233,32 @@ function handle(type, e) {
   case "run_end":
     logLine("run finished: " + (e.tasks || 0) + " models, " +
       (e.saved_epochs || 0) + " epochs saved"); break;
+  case "alert": {
+    const id = e.alert || "?";
+    let row = alerts.get(id);
+    if (!row) {
+      row = document.createElement("div");
+      alerts.set(id, row);
+      $("alerts").prepend(row);
+    }
+    row.className = "alert " + (e.severity || "info");
+    row.innerHTML = '<span class="cnt">×' + (e.count || 1) + "</span><b>" +
+      (e.severity || "info") + "</b> [" + (e.monitor || "?") + "] ";
+    row.appendChild(document.createTextNode(e.msg || ""));
+    logLine("ALERT " + (e.severity || "") + " " + id + ": " + (e.msg || ""));
+    break;
+  }
+  case "alert_resolved": {
+    const row = alerts.get(e.alert || "?");
+    if (row) { row.remove(); alerts.delete(e.alert || "?"); }
+    logLine("resolved " + (e.alert || "?")); break;
+  }
   }
 }
+const alerts = new Map();
 const types = ["run_start","run_end","generation_start","generation_end","task_dispatch",
   "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
-  "predict_terminate","pareto_update"];
+  "predict_terminate","pareto_update","alert","alert_resolved"];
 const es = new EventSource("/events");
 es.onopen = () => { const c = $("conn"); c.textContent = "live"; c.className = "ok"; };
 es.onerror = () => { const c = $("conn"); c.textContent = "reconnecting…"; c.className = "bad"; };

@@ -19,6 +19,11 @@
 //	GET /metrics        Prometheus text format
 //	GET /metrics.json   expvar-style JSON snapshot
 //	GET /debug/spans    bounded span ring as JSON
+//
+// With SetHealth the in-situ health monitor surfaces too:
+//
+//	GET /healthz        aggregate status (200 ok/degraded, 503 critical)
+//	GET /api/alerts     active and recently resolved alerts
 package webui
 
 import (
@@ -32,16 +37,18 @@ import (
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
+	"a4nn/internal/health"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
 )
 
 // Server wraps a commons store with HTTP handlers.
 type Server struct {
-	store *commons.Store
-	mux   *http.ServeMux
-	obsOn bool
-	cache *ttlCache
+	store    *commons.Store
+	mux      *http.ServeMux
+	obsOn    bool
+	healthOn bool
+	cache    *ttlCache
 }
 
 // New builds a server over the store.
@@ -74,6 +81,18 @@ func (s *Server) SetObserver(o *obs.Observer) {
 	s.mux.Handle("GET /debug/spans", o.Tracer().SpansHandler())
 	s.mux.Handle("GET /events", EventsHandler(o.Journal()))
 	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
+}
+
+// SetHealth mounts the health monitor's endpoints (GET /healthz and
+// GET /api/alerts) backed by a running engine. Same contract as
+// SetObserver: at most once, before serving; nil or repeat is a no-op.
+func (s *Server) SetHealth(e *health.Engine) {
+	if e == nil || s.healthOn {
+		return
+	}
+	s.healthOn = true
+	s.mux.Handle("GET /healthz", health.HealthzHandler(e))
+	s.mux.Handle("GET /api/alerts", health.AlertsHandler(e))
 }
 
 // ServeHTTP implements http.Handler.

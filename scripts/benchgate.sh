@@ -1,9 +1,10 @@
 #!/bin/sh
 # benchgate.sh guards the zero-allocation training hot path: it re-runs
 # BenchmarkTrainStep and fails when allocs/op exceeds the committed
-# "current" value in BENCH_tensor.json, and re-runs
-# BenchmarkDisabledProfiler and fails unless the disabled per-layer
-# profiler costs exactly 0 allocs/op. Run via `make bench-gate`.
+# "current" value in BENCH_tensor.json, and re-runs the disabled-path
+# observability benchmarks (BenchmarkDisabledProfiler in internal/nn,
+# BenchmarkDisabledHealth in internal/health) and fails unless each
+# costs exactly 0 allocs/op. Run via `make bench-gate`.
 set -eu
 
 budget=$(awk '/"current"/ { c = 1 }
@@ -52,3 +53,21 @@ if [ "$profiler" -gt 0 ]; then
     exit 1
 fi
 echo "benchgate: ok — disabled profiler $profiler allocs/op"
+
+# The disabled health monitor must be equally free: with no engine
+# attached, Engine.Observe is one nil check, so workflows that never
+# pass -health pay nothing for the alerting pipeline.
+hout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkDisabledHealth$' -benchmem ./internal/health)
+echo "$hout"
+healthallocs=$(echo "$hout" | awk '/^BenchmarkDisabledHealth(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$healthallocs" ]; then
+    echo "benchgate: BenchmarkDisabledHealth reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$healthallocs" -gt 0 ]; then
+    echo "benchgate: FAIL — disabled health monitor allocates $healthallocs/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — disabled health monitor $healthallocs allocs/op"
