@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-broker race-health bench bench-smoke bench-gate bench-json clean
+.PHONY: ci lint vet build test race race-broker race-health bench bench-smoke bench-gate bench-json chaos-soak clean
 
 # ci is the gate for every change: formatting and static analysis, a
 # full build, the test suite under the race detector (plus a dedicated
@@ -8,9 +8,10 @@ GO ?= go
 # for hundreds of concurrent subscribers, and a stress pass over the
 # health monitors and alert manager against a fault-injected search), a
 # one-iteration benchmark smoke run so the hot-path benchmarks cannot
-# silently rot, and the allocation-regression gates on the training and
-# observability hot paths.
-ci: lint build race race-broker race-health bench-smoke bench-gate
+# silently rot, the allocation-regression gates on the training and
+# observability hot paths, and the crash-recovery soak that kills the
+# real CLI at seeded crash points and resumes it to completion.
+ci: lint build race race-broker race-health bench-smoke bench-gate chaos-soak
 
 # lint fails on unformatted files (gofmt -l) and vet findings.
 lint: vet
@@ -58,6 +59,12 @@ bench-smoke:
 # (per-layer profiler, span tracer, health monitor) costs allocations.
 bench-gate:
 	GO="$(GO)" sh scripts/benchgate.sh
+
+# chaos-soak sweeps seeded crash plans through the real CLI: crash at a
+# named durable-state transition, relaunch with -resume until the search
+# completes, and require the same Pareto front as a fault-free run.
+chaos-soak:
+	GO="$(GO)" sh scripts/chaossoak.sh
 
 # bench-json re-measures the training hot-path benchmarks and writes
 # BENCH_tensor.json with the committed pre-optimisation baseline

@@ -27,6 +27,7 @@ import (
 	"context"
 
 	"a4nn/internal/analyzer"
+	"a4nn/internal/chaos"
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
 	"a4nn/internal/dataset"
@@ -243,6 +244,53 @@ func ReadAlerts(path string) ([]Alert, error) { return health.ReadAlerts(path) }
 // ParseFaultPlan parses the compact CLI fault specification, e.g.
 // "transient=0.05;crash=1@2;slowdown=0.1;seed=7".
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return sched.ParseFaultPlan(spec) }
+
+// Crash-consistency types (model-level checkpointing, corruption
+// recovery, and process-level fault injection; see internal/chaos and
+// DESIGN.md §8).
+type (
+	// Checkpoint is one model's durable mid-training progress: completed
+	// epochs, serialized weights with a digest, the predictor's curve
+	// observations, and the accounting needed to resume inside an
+	// interrupted generation (Config.Checkpoints).
+	Checkpoint = commons.Checkpoint
+	// RecoveryReport summarises the resume preflight: valid records and
+	// checkpoints, quarantined corrupt files, stale checkpoints removed,
+	// and records the journal saw finish but the crash lost.
+	RecoveryReport = core.RecoveryReport
+	// QuarantinedFile is one corrupt file recovery moved into .corrupt/.
+	QuarantinedFile = core.QuarantinedFile
+	// ChaosPlan is a parsed crash-injection plan; Install arms it
+	// process-wide.
+	ChaosPlan = chaos.Plan
+)
+
+// ChaosExitCode is the process exit code of an injected crash (86),
+// distinguishing planned kills from real failures in soak harnesses.
+const ChaosExitCode = chaos.ExitCode
+
+// ParseChaosPlan parses the compact -chaos specification, e.g.
+// "crash=commons.record.pre_rename@3;seed=7" (crash on the 3rd record
+// commit) or "err=journal.append.pre_write%0.1" (fail ~10% of journal
+// appends). ChaosPoints lists the named crash points.
+func ParseChaosPlan(spec string) (*ChaosPlan, error) { return chaos.Parse(spec) }
+
+// InstallChaosPlan arms a crash plan process-wide (nil disarms). With
+// no plan installed every crash point is a single atomic load and zero
+// allocations.
+func InstallChaosPlan(p *ChaosPlan) { chaos.Install(p) }
+
+// ChaosPoints returns the named crash points, sorted.
+func ChaosPoints() []string { return chaos.Points() }
+
+// RecoverCommons scans a commons store for crash damage — torn records,
+// corrupt or stale checkpoints, records the journal saw finish but the
+// disk lost — quarantines what cannot be trusted, rebuilds index.json,
+// and reports what it did. Run automatically by Config.Resume; exposed
+// for offline repair.
+func RecoverCommons(store *Store, journal *Journal) (*RecoveryReport, error) {
+	return core.RecoverStore(store, journal)
+}
 
 // DefaultDevice returns a single accelerator with the default (V100-like)
 // effective throughput.

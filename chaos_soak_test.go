@@ -1,0 +1,215 @@
+package a4nn
+
+// Chaos soak: crash the real CLI at randomly chosen seeded crash
+// points, relaunch it with -resume until the search completes, and
+// assert the crash-consistency contract — the journal sequence stays
+// monotone, no model retrains epochs its checkpoint already covers,
+// every store file still decodes, and the final Pareto front is
+// byte-identical to a fault-free run with the same seed.
+//
+// `go test` runs a handful of plans; `make chaos-soak` sets
+// CHAOS_SOAK_ITERS=20 for the acceptance sweep.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"a4nn/internal/chaos"
+)
+
+// soakSearchArgs is the shared search configuration; the reference run
+// and every chaos run must match for the fronts to be comparable.
+// One device, because the device ID participates in each model's
+// training seed and with several devices the task→device assignment is
+// a real goroutine race: even two fault-free same-seed runs then
+// differ, so byte-identical fronts are only a meaningful contract on a
+// single device.
+var soakSearchArgs = []string{
+	"-beam", "medium", "-population", "6", "-offspring", "6",
+	"-generations", "3", "-epochs", "10", "-devices", "1", "-seed", "42",
+}
+
+// repeatablePoints are visited only for NEW durable work (records and
+// checkpoints of models not yet committed), so a crash@N plan makes at
+// least N-1 transitions of progress per launch and can stay armed
+// across every relaunch. Points that replayed work re-visits (journal
+// appends, generation commits) would livelock if re-armed, so those
+// plans crash once and relaunch clean.
+var repeatablePoints = []string{
+	chaos.PointRecordPreRename,
+	chaos.PointRecordPostRename,
+	chaos.PointCheckpointPreRename,
+	chaos.PointCheckpointPostRename,
+	chaos.PointModelPostRecord,
+}
+
+var oneshotPoints = []string{
+	chaos.PointGenerationCommit,
+	chaos.PointJournalAppend,
+}
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	bins := buildTools(t, "a4nn")
+
+	// Fault-free reference: same seed, same search, no chaos.
+	refStore := filepath.Join(t.TempDir(), "ref")
+	refOut := run(t, bins["a4nn"],
+		append(append([]string{}, soakSearchArgs...), "-store", refStore, "-checkpoints", "-events")...)
+	refFront := paretoSection(t, refOut)
+
+	iters := 4
+	if s := os.Getenv("CHAOS_SOAK_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("CHAOS_SOAK_ITERS = %q", s)
+		}
+		iters = n
+	}
+
+	rng := rand.New(rand.NewSource(20260808))
+	totalCrashes := 0
+	for it := 0; it < iters; it++ {
+		// Draw the plan outside the subtest so the sequence only depends
+		// on the iteration count.
+		var point string
+		repeat := rng.Intn(10) < 7
+		if repeat {
+			point = repeatablePoints[rng.Intn(len(repeatablePoints))]
+		} else {
+			point = oneshotPoints[rng.Intn(len(oneshotPoints))]
+		}
+		// The visit count sets the progress per launch (N-1 durable
+		// transitions before the crash), so scale it to how often each
+		// point fires: checkpoints are written every epoch (~160 visits a
+		// run), records once per model (18), generation commits 3 times.
+		visit := 2 + rng.Intn(4)
+		switch point {
+		case chaos.PointCheckpointPreRename, chaos.PointCheckpointPostRename:
+			visit = 10 + rng.Intn(30)
+		case chaos.PointGenerationCommit:
+			visit = 2 + rng.Intn(2)
+		}
+		plan := fmt.Sprintf("crash=%s@%d;seed=%d", point, visit, rng.Int63())
+		t.Run(fmt.Sprintf("plan%02d", it), func(t *testing.T) {
+			totalCrashes += soakOnePlan(t, bins["a4nn"], plan, repeat, refFront)
+		})
+	}
+	if totalCrashes == 0 {
+		t.Fatalf("no plan ever fired across %d iterations — the crash points are not being visited", iters)
+	}
+	t.Logf("soak: %d iterations, %d injected crashes", iters, totalCrashes)
+}
+
+// soakOnePlan crashes and relaunches one store to completion and
+// checks the crash-consistency contract. Returns the crash count.
+func soakOnePlan(t *testing.T, bin, plan string, rearm bool, refFront string) int {
+	t.Helper()
+	store := filepath.Join(t.TempDir(), "runs")
+	base := append(append([]string{}, soakSearchArgs...), "-store", store, "-checkpoints", "-events")
+
+	crashes := 0
+	var out string
+	for attempt := 0; ; attempt++ {
+		if attempt > 60 {
+			t.Fatalf("plan %q: search did not complete after %d relaunches", plan, attempt)
+		}
+		args := append([]string{}, base...)
+		if attempt > 0 {
+			args = append(args, "-resume")
+		}
+		if attempt == 0 || rearm {
+			args = append(args, "-chaos", plan)
+		}
+		b, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			out = string(b)
+			break
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) && ee.ExitCode() == chaos.ExitCode {
+			crashes++
+			continue
+		}
+		t.Fatalf("plan %q attempt %d: unexpected failure: %v\n%s", plan, attempt, err, b)
+	}
+
+	// 1. The final Pareto front is byte-identical to the fault-free run.
+	if got := paretoSection(t, out); got != refFront {
+		t.Errorf("plan %q (%d crashes): Pareto front diverged from the fault-free run\ngot:\n%s\nwant:\n%s",
+			plan, crashes, got, refFront)
+	}
+
+	// 2. Journal sequence numbers stay strictly monotone across every
+	// crash and relaunch, and 3. no model retrains an epoch its
+	// checkpoint already covers.
+	events, err := ReadEvents(filepath.Join(store, EventsFile))
+	if err != nil {
+		t.Fatalf("plan %q: read journal: %v", plan, err)
+	}
+	var lastSeq uint64
+	resumedAt := make(map[string]int)
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("plan %q: journal seq %d after %d is not monotone", plan, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Type {
+		case "model_resume":
+			resumedAt[e.Model] = e.Epoch
+		case "epoch":
+			if k, ok := resumedAt[e.Model]; ok && e.Epoch <= k {
+				t.Errorf("plan %q: model %s trained epoch %d twice — its checkpoint already covered epoch %d",
+					plan, e.Model, e.Epoch, k)
+			}
+		}
+	}
+
+	// 4. Every record decodes and no checkpoint outlives its record.
+	cstore, err := OpenCommons(store)
+	if err != nil {
+		t.Fatalf("plan %q: reopen store: %v", plan, err)
+	}
+	ids, err := cstore.List()
+	if err != nil {
+		t.Fatalf("plan %q: list records: %v", plan, err)
+	}
+	if want := 6 + 6*2; len(ids) != want {
+		t.Errorf("plan %q: %d records in store, want %d", plan, len(ids), want)
+	}
+	for _, id := range ids {
+		if _, err := cstore.GetRecord(id); err != nil {
+			t.Errorf("plan %q: record %s does not decode: %v", plan, id, err)
+		}
+	}
+	if cps, err := cstore.Checkpoints(); err != nil {
+		t.Errorf("plan %q: list checkpoints: %v", plan, err)
+	} else if len(cps) != 0 {
+		t.Errorf("plan %q: %d checkpoint(s) left after a completed run: %v", plan, len(cps), cps)
+	}
+	return crashes
+}
+
+// paretoSection extracts the Pareto table from a run's stdout so two
+// runs over different store paths compare equal.
+func paretoSection(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "Pareto-optimal models")
+	if i < 0 {
+		t.Fatalf("no Pareto section in output:\n%s", out)
+	}
+	s := out[i:]
+	if j := strings.Index(s, "\nrecord trails written"); j >= 0 {
+		s = s[:j]
+	}
+	return s
+}

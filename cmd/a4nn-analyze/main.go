@@ -17,6 +17,7 @@
 //	a4nn-analyze -store DIR telemetry         # utilisation, queue wait, savings
 //	a4nn-analyze -store DIR profile           # per-layer time and FLOP breakdown
 //	a4nn-analyze -store DIR health            # alert history from the health monitor
+//	a4nn-analyze -store DIR recovery          # crash-recovery history (resumes, quarantines)
 package main
 
 import (
@@ -159,6 +160,17 @@ func main() {
 			fatal(fmt.Errorf("load alerts: %w (record them with cmd/a4nn -health -store)", err))
 		}
 		fmt.Print(analyzer.FormatAlerts(alerts))
+	case "recovery":
+		events, err := obs.ReadEvents(filepath.Join(*storeDir, obs.EventsFile))
+		if err != nil {
+			fatal(fmt.Errorf("load events: %w (record them with cmd/a4nn -events -store)", err))
+		}
+		fmt.Print(analyzer.FormatRecovery(events))
+		// Checkpoints still on disk mean a run is in flight or a crash
+		// has not been resumed yet.
+		if ids, err := store.Checkpoints(); err == nil && len(ids) > 0 {
+			fmt.Printf("pending checkpoints: %d (resume with cmd/a4nn -resume -checkpoints)\n", len(ids))
+		}
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

@@ -23,6 +23,10 @@ type flagSpec struct {
 	Health      bool   // -health
 	HealthSpec  string // -health-config
 	Strict      bool   // -health-strict
+	Checkpoints bool   // -checkpoints
+	Resume      bool   // -resume
+	Chaos       string // -chaos
+	AlertCmd    string // -alert-cmd
 }
 
 // flushDir is where telemetry lands: -trace wins, else the commons.
@@ -50,6 +54,20 @@ func validateFlags(f flagSpec) (warnings []string, err error) {
 	}
 	if f.Strict && !f.Health {
 		return nil, errors.New("-health-strict needs -health")
+	}
+	if f.Checkpoints && f.Store == "" {
+		return nil, errors.New("-checkpoints needs -store (checkpoints live inside the data commons)")
+	}
+	if f.AlertCmd != "" && !f.Health {
+		return nil, errors.New("-alert-cmd needs -health (alerts come from the health monitor)")
+	}
+	if f.Chaos != "" {
+		warnings = append(warnings,
+			"-chaos is armed: this process will crash (exit 86) or fail I/O on purpose per the plan")
+		if f.Store != "" && !f.Checkpoints {
+			warnings = append(warnings,
+				"-chaos without -checkpoints: a relaunch with -resume replays committed records but retrains any model that was mid-training")
+		}
 	}
 	if f.Health && f.flushDir() == "" && f.MetricsAddr == "" && !f.Strict {
 		warnings = append(warnings,

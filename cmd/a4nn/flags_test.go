@@ -22,6 +22,10 @@ func TestValidateFlagsRejectsNoOpCombos(t *testing.T) {
 		{"health-config without health", flagSpec{HealthSpec: "resolve-after=2"}, "-health-config needs"},
 		{"health-strict without health", flagSpec{Strict: true}, "-health-strict needs"},
 		{"health full", flagSpec{Health: true, HealthSpec: "resolve-after=2", Strict: true, Store: "runs"}, ""},
+		{"checkpoints without store", flagSpec{Checkpoints: true}, "-checkpoints needs"},
+		{"checkpoints with store", flagSpec{Checkpoints: true, Store: "runs"}, ""},
+		{"alert-cmd without health", flagSpec{AlertCmd: "notify-send a4nn"}, "-alert-cmd needs"},
+		{"alert-cmd with health", flagSpec{AlertCmd: "notify-send a4nn", Health: true, Store: "runs"}, ""},
 	}
 	for _, tc := range cases {
 		_, err := validateFlags(tc.f)
@@ -67,5 +71,21 @@ func TestValidateFlagsWarnings(t *testing.T) {
 	}
 	if w, _ := validateFlags(flagSpec{ProfLayers: true, DataPath: "d.gob", Trace: "tel"}); len(w) != 0 {
 		t.Errorf("profile-layers with -data warned: %q", w)
+	}
+	// An armed chaos plan always warns; without -checkpoints it also
+	// warns that a mid-training model will be retrained on resume.
+	w, err = validateFlags(flagSpec{Chaos: "crash=core.generation.commit@1", Store: "runs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || !strings.Contains(w[0], "-chaos is armed") || !strings.Contains(w[1], "-checkpoints") {
+		t.Fatalf("chaos warnings = %q", w)
+	}
+	w, err = validateFlags(flagSpec{Chaos: "crash=core.generation.commit@1", Store: "runs", Checkpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "-chaos is armed") {
+		t.Fatalf("chaos+checkpoints warnings = %q", w)
 	}
 }

@@ -1,0 +1,61 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"a4nn/internal/obs"
+)
+
+func TestRecoveryOf(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 1, Type: obs.EventRunStart},
+		{Seq: 2, Type: obs.EventModelResume, Model: "m1", Epoch: 7},
+		{Seq: 3, Type: obs.EventRecovery, Model: "m2", Reason: "checksum", Msg: "quarantined"},
+		{Seq: 4, Type: obs.EventRecovery, Model: "m3", Reason: "lost", Msg: "will retrain"},
+		{Seq: 5, Type: obs.EventRecovery, Model: "m4", Reason: "stale", Msg: "removed"},
+		{Seq: 6, Type: obs.EventAlertCmd, Msg: "alert-cmd fired x: exit 0"},
+		{Seq: 7, Type: obs.EventRunStart},
+		{Seq: 8, Type: obs.EventModelResume, Model: "m5", Epoch: 3},
+	}
+	r := RecoveryOf(events)
+	want := RecoverySummary{
+		Launches: 2, Resumes: 2, ResumedEpochs: 10,
+		Quarantined: 1, Lost: 1, Stale: 1, AlertCmdRuns: 1,
+	}
+	if r != want {
+		t.Fatalf("RecoveryOf = %+v, want %+v", r, want)
+	}
+	if !r.Damaged() {
+		t.Error("Damaged() = false with quarantined and lost files")
+	}
+
+	s := r.String()
+	for _, frag := range []string{
+		"launches 2", "checkpoint resumes 2", "10 epochs carried over",
+		"quarantined 1", "lost records 1", "stale checkpoints cleaned 1",
+		"alert commands run 1",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+
+	out := FormatRecovery(events)
+	for _, frag := range []string{"resume", "m1", "checksum", "m3", "will retrain"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatRecovery missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRecoveryOfCleanRun(t *testing.T) {
+	events := []obs.Event{{Seq: 1, Type: obs.EventRunStart}}
+	r := RecoveryOf(events)
+	if r.Damaged() {
+		t.Error("Damaged() = true for a clean run")
+	}
+	if out := FormatRecovery(events); !strings.Contains(out, "no recovery events") {
+		t.Errorf("FormatRecovery = %q", out)
+	}
+}

@@ -1,0 +1,234 @@
+package commons
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"a4nn/internal/lineage"
+)
+
+func testCheckpoint(id string, epoch int) *Checkpoint {
+	c := &Checkpoint{
+		ID:           id,
+		Genome:       "1011-110",
+		Generation:   2,
+		Seed:         42424242,
+		Epoch:        epoch,
+		State:        []byte(`{"a":61.2,"epoch":3}`),
+		SimSeconds:   123.5,
+		Interactions: epoch,
+		SavedAt:      time.Unix(1700000000, 0).UTC(),
+	}
+	c.StateDigest = StateDigest(c.State)
+	for e := 1; e <= epoch; e++ {
+		c.Epochs = append(c.Epochs, lineage.EpochEntry{
+			Epoch: e, ValAccuracy: 50 + float64(e), Prediction: 60, HasPrediction: e >= 3,
+		})
+	}
+	return c
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := testCheckpoint("m-g01-i03", 4)
+	data, err := EncodeCheckpoint(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint("x.ckpt", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != c.ID || got.Seed != c.Seed || got.Epoch != c.Epoch || got.StateDigest != c.StateDigest {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	h := got.History()
+	if len(h) != 4 || h[0] != 51 {
+		t.Fatalf("History() = %v", h)
+	}
+	p, epochs := got.Predictions()
+	if len(p) != 2 || epochs[0] != 3 || epochs[1] != 4 {
+		t.Fatalf("Predictions() = %v @ %v", p, epochs)
+	}
+}
+
+func TestDecodeCheckpointCorruption(t *testing.T) {
+	c := testCheckpoint("m", 2)
+	data, err := EncodeCheckpoint(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		reason string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"short header", func(b []byte) []byte { return b[:7] }, "truncated"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "magic"},
+		{"future version", func(b []byte) []byte { b[4] = 99; return b }, "version"},
+		{"torn payload", func(b []byte) []byte { return b[:len(b)-5] }, "truncated"},
+		{"trailing junk", func(b []byte) []byte { return append(b, 0, 0) }, "length"},
+		{"bit flip", func(b []byte) []byte { b[20] ^= 0x40; return b }, "checksum"},
+	}
+	for _, tc := range cases {
+		buf := tc.mutate(append([]byte(nil), data...))
+		_, err := DecodeCheckpoint("x.ckpt", buf)
+		var ce *CorruptionError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a CorruptionError", tc.name, err)
+			continue
+		}
+		if ce.Reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q", tc.name, ce.Reason, tc.reason)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: does not unwrap to ErrCorrupt", tc.name)
+		}
+		if CorruptionReason(err) != tc.reason {
+			t.Errorf("%s: CorruptionReason = %q", tc.name, CorruptionReason(err))
+		}
+	}
+}
+
+func TestStoreCheckpointCRUD(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetCheckpoint("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing checkpoint: %v", err)
+	}
+	c := testCheckpoint("m-g00-i01", 3)
+	if err := s.PutCheckpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetCheckpoint(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Genome != c.Genome || got.Epoch != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	ids, err := s.Checkpoints()
+	if err != nil || len(ids) != 1 || ids[0] != c.ID {
+		t.Fatalf("Checkpoints() = %v, %v", ids, err)
+	}
+	if err := s.DeleteCheckpoint(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteCheckpoint(c.ID); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if ids, _ := s.Checkpoints(); len(ids) != 0 {
+		t.Fatalf("after delete: %v", ids)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn checkpoint is detected and quarantined with its reason.
+	path := s.checkpointPath("torn")
+	if err := os.WriteFile(path, []byte("A4CK junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.GetCheckpoint("torn")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn checkpoint: %v", err)
+	}
+	dest, err := s.QuarantineCheckpoint("torn", CorruptionReason(err))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dest, QuarantineDir) || !strings.HasSuffix(dest, ".truncated") {
+		t.Fatalf("quarantine dest %q", dest)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("torn checkpoint still in checkpoints/")
+	}
+	if _, err := os.Stat(dest); err != nil {
+		t.Fatal(err)
+	}
+
+	// Name collisions get a counter suffix instead of clobbering.
+	if err := os.WriteFile(path, []byte("A4CK junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dest2, err := s.QuarantineCheckpoint("torn", "truncated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest2 == dest {
+		t.Fatalf("second quarantine reused %q", dest)
+	}
+
+	// Records quarantine the same way.
+	rpath := s.recordPath("bad")
+	if err := os.WriteFile(rpath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRecord("bad"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn record: %v", err)
+	}
+	rdest, err := s.QuarantineRecord("bad", "decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(rdest) != filepath.Join(s.Root(), QuarantineDir) {
+		t.Fatalf("record quarantined to %q", rdest)
+	}
+	// The corrupt record no longer poisons List/All.
+	if ids, err := s.List(); err != nil || len(ids) != 0 {
+		t.Fatalf("List after quarantine: %v, %v", ids, err)
+	}
+}
+
+func TestEncodeCheckpointValidates(t *testing.T) {
+	bad := []*Checkpoint{
+		{},
+		{ID: "x", Genome: "g"},
+		{ID: "x", Genome: "g", Epoch: 2, Epochs: []lineage.EpochEntry{{Epoch: 1}}},
+		{ID: "x", Genome: "g", Epoch: 1, Epochs: []lineage.EpochEntry{{Epoch: 7}}},
+	}
+	for i, c := range bad {
+		if _, err := EncodeCheckpoint(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// FuzzDecodeCheckpoint asserts the frame reader never panics and always
+// classifies garbage as a typed corruption error.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid, err := EncodeCheckpoint(testCheckpoint("m-g01-i00", 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("A4CK"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-3] ^= 0x10
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint("fuzz.ckpt", data)
+		if err == nil {
+			if c == nil || c.Validate() != nil {
+				t.Fatal("nil error with invalid checkpoint")
+			}
+			return
+		}
+		var ce *CorruptionError
+		if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"a4nn/internal/chaos"
 	"a4nn/internal/lineage"
 )
 
@@ -37,7 +38,7 @@ func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("commons: empty store path")
 	}
-	for _, sub := range []string{"records", "models"} {
+	for _, sub := range []string{"records", "models", "checkpoints"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("commons: create store layout: %w", err)
 		}
@@ -58,7 +59,11 @@ func (s *Store) snapshotPath(id string, epoch int) string {
 
 // atomicWrite writes data to path via a temp file in the same directory
 // renamed into place, so a crash mid-write can never leave a torn file.
-func atomicWrite(path string, data []byte, perm os.FileMode) error {
+// pre and post name the chaos crash points straddling the rename — the
+// two instants whose crash semantics differ (old file still visible vs
+// new file committed but unreported); both are no-ops unless a crash
+// plan is armed.
+func atomicWrite(path string, data []byte, perm os.FileMode, pre, post string) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
@@ -76,7 +81,13 @@ func atomicWrite(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := chaos.Point(pre); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return chaos.Point(post)
 }
 
 // PutRecord writes (or replaces) a record trail. The write is atomic: a
@@ -89,7 +100,8 @@ func (s *Store) PutRecord(r *lineage.Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := atomicWrite(s.recordPath(r.ID), data, 0o644); err != nil {
+	if err := atomicWrite(s.recordPath(r.ID), data, 0o644,
+		chaos.PointRecordPreRename, chaos.PointRecordPostRename); err != nil {
 		return fmt.Errorf("commons: write record %s: %w", r.ID, err)
 	}
 	return nil
@@ -122,7 +134,8 @@ func (s *Store) PutSnapshot(id string, epoch int, state []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("commons: create model dir for %s: %w", id, err)
 	}
-	if err := atomicWrite(s.snapshotPath(id, epoch), state, 0o644); err != nil {
+	if err := atomicWrite(s.snapshotPath(id, epoch), state, 0o644,
+		chaos.PointSnapshotPreRename, ""); err != nil {
 		return fmt.Errorf("commons: write snapshot %s@%d: %w", id, epoch, err)
 	}
 	return nil

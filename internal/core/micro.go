@@ -46,9 +46,11 @@ type MicroConfig struct {
 	Trainer MicroTrainer
 	// Beam labels the dataset variant in lineage records.
 	Beam string
-	// Store / SnapshotEpochs / OnModel / ReplayFrom as in Config.
+	// Store / SnapshotEpochs / Checkpoints / OnModel / ReplayFrom as in
+	// Config.
 	Store          *commons.Store
 	SnapshotEpochs bool
+	Checkpoints    bool
 	OnModel        func(*ModelResult)
 	ReplayFrom     *commons.Store
 	// Resume / Faults / Retry / TaskTimeoutSeconds / Obs as in Config.
@@ -84,7 +86,7 @@ func (c MicroConfig) Validate() error {
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
 	}
-	return validateFaultKnobs(c.Resume, c.Store != nil, c.ReplayFrom != nil,
+	return validateFaultKnobs(c.Resume, c.Checkpoints, c.Store != nil, c.ReplayFrom != nil,
 		c.Faults, c.Retry, c.TaskTimeoutSeconds)
 }
 
@@ -126,6 +128,14 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	if cfg.Resume {
 		replay = nilableStore(cfg.Store)
 	}
+	var recovery *RecoveryReport
+	if cfg.Resume {
+		rep, err := RecoverStore(cfg.Store, cfg.Obs.Journal())
+		if err != nil {
+			return nil, err
+		}
+		recovery = rep
+	}
 	ctx = obs.WithTracer(ctx, cfg.Obs.Tracer())
 	r, err := newRunner(runnerParams{
 		engineCfg:   cfg.Engine,
@@ -136,6 +146,8 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 		store:       nilableStore(cfg.Store),
 		replay:      replay,
 		snapshots:   cfg.SnapshotEpochs,
+		checkpoints: cfg.Checkpoints,
+		resume:      cfg.Resume,
 		onModel:     cfg.OnModel,
 		samples:     cfg.Trainer.TrainSamples(),
 		seed:        cfg.NAS.Seed,
@@ -147,6 +159,7 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.attachRecovery(recovery)
 	r.journal.Emit(obs.Event{Type: obs.EventRunStart, Devices: cfg.Devices, Epochs: cfg.MaxEpochs})
 
 	evaluator := nsga.EvaluatorFunc[*genome.MicroGenome](func(gen int, cands []*genome.MicroGenome) ([][]float64, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"a4nn/internal/commons"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
 	"a4nn/internal/predict"
@@ -14,6 +15,10 @@ import (
 // SnapshotSink receives per-epoch model states; the workflow wires it to
 // the data commons. epoch is 1-based.
 type SnapshotSink func(id string, epoch int, state []byte) error
+
+// CheckpointSink receives the model's full mid-training progress after
+// every epoch; the workflow wires it to the commons checkpoint store.
+type CheckpointSink func(cp *commons.Checkpoint) error
 
 // TrainStepError marks a failure inside a single training epoch — the
 // kind of error (a diverged batch, an OOM on one device) worth retrying
@@ -45,6 +50,18 @@ type Orchestrator struct {
 	// Snapshots, when non-nil, receives the model state after every epoch
 	// (paper §2.2.2).
 	Snapshots SnapshotSink
+	// Checkpoint, when non-nil, receives a crash-safe progress checkpoint
+	// after every epoch, so a killed run resumes mid-model instead of
+	// retraining from epoch 1.
+	Checkpoint CheckpointSink
+	// ResumeFrom, when non-nil, rehydrates the training loop from a prior
+	// run's checkpoint: accounting, the record trail, and the prediction
+	// engine's fit state resume where the crash cut them off. The model
+	// itself must already be restored (ResumeModel) before TrainModel.
+	ResumeFrom *commons.Checkpoint
+	// Seed is the seed the model was built with, recorded into
+	// checkpoints so a resumed run rebuilds the identical model.
+	Seed int64
 	// SlowFactor ≥ 1 inflates the simulated per-epoch cost — the
 	// scheduler sets it when fault injection marks the device a
 	// straggler for this generation. 0 means 1 (no slowdown).
@@ -120,7 +137,42 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 	}
 	out := &TrainOutcome{}
 	lastVal := 0.0
-	for e := 1; e <= o.MaxEpochs; e++ {
+	start := 1
+	resumedSim := 0.0
+	if cp := o.ResumeFrom; cp != nil {
+		// Rehydrate the loop state the crash cut off: accounting totals,
+		// the record's epoch trail, and the prediction engine's H/P fit
+		// state, then continue from the next epoch. A checkpoint taken at
+		// the convergence epoch resumes straight to the final fitness.
+		out.SimSeconds = cp.SimSeconds
+		out.EpochsTrained = cp.Epoch
+		out.EngineSeconds = cp.EngineSeconds
+		out.Interactions = cp.Interactions
+		out.InteractionSeconds = append([]float64(nil), cp.InteractionSeconds...)
+		resumedSim = cp.SimSeconds
+		if h := cp.History(); len(h) > 0 {
+			lastVal = h[len(h)-1]
+		}
+		if tracker != nil {
+			p, predEpochs := cp.Predictions()
+			tracker.Restore(cp.History(), p, predEpochs, cp.Terminated)
+		}
+		if rec != nil {
+			rec.Epochs = append([]lineage.EpochEntry(nil), cp.Epochs...)
+		}
+		start = cp.Epoch + 1
+		if cp.Terminated && tracker != nil {
+			out.Terminated = true
+			start = o.MaxEpochs + 1 // nothing left to train
+		}
+		o.Obs.events().Emit(obs.Event{
+			Type:  obs.EventModelResume,
+			Gen:   evGen,
+			Model: evModel,
+			Epoch: cp.Epoch,
+		})
+	}
+	for e := start; e <= o.MaxEpochs; e++ {
 		if err := ctx.Err(); err != nil {
 			return out, fmt.Errorf("core: training %s canceled at epoch %d: %w", recID(rec), e, err)
 		}
@@ -141,7 +193,7 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		// A straggler past its deadline gives the work back to the
 		// scheduler for re-dispatch instead of dragging the generation
 		// barrier — nothing has been committed to the record store yet.
-		if o.DeadlineSeconds > 0 && out.SimSeconds > o.DeadlineSeconds {
+		if o.DeadlineSeconds > 0 && out.SimSeconds-resumedSim > o.DeadlineSeconds {
 			espan.SetAttr("error", "deadline")
 			espan.SetFloat("sim_s", epochCost)
 			espan.End()
@@ -187,13 +239,36 @@ func (o *Orchestrator) TrainModel(ctx context.Context, m Trainable, dev sched.De
 		if rec != nil {
 			rec.Epochs = append(rec.Epochs, entry)
 		}
-		if o.Snapshots != nil && rec != nil {
+		if (o.Snapshots != nil || o.Checkpoint != nil) && rec != nil {
 			state, err := m.SaveState()
 			if err != nil {
 				return out, fmt.Errorf("core: snapshot %s@%d: %w", rec.ID, e, err)
 			}
-			if err := o.Snapshots(rec.ID, e, state); err != nil {
-				return out, fmt.Errorf("core: store snapshot %s@%d: %w", rec.ID, e, err)
+			if o.Snapshots != nil {
+				if err := o.Snapshots(rec.ID, e, state); err != nil {
+					return out, fmt.Errorf("core: store snapshot %s@%d: %w", rec.ID, e, err)
+				}
+			}
+			if o.Checkpoint != nil {
+				cp := &commons.Checkpoint{
+					ID:                 rec.ID,
+					Genome:             rec.Genome,
+					Generation:         rec.Generation,
+					Seed:               o.Seed,
+					Epoch:              e,
+					Terminated:         converged,
+					State:              state,
+					StateDigest:        commons.StateDigest(state),
+					Epochs:             append([]lineage.EpochEntry(nil), rec.Epochs...),
+					SimSeconds:         out.SimSeconds,
+					EngineSeconds:      out.EngineSeconds,
+					Interactions:       out.Interactions,
+					InteractionSeconds: append([]float64(nil), out.InteractionSeconds...),
+					SavedAt:            time.Now(),
+				}
+				if err := o.Checkpoint(cp); err != nil {
+					return out, fmt.Errorf("core: checkpoint %s@%d: %w", rec.ID, e, err)
+				}
 			}
 		}
 		if converged {

@@ -170,6 +170,16 @@ func (m *realModel) trainAccuracy() (float64, error) {
 // SaveState implements Trainable.
 func (m *realModel) SaveState() ([]byte, error) { return m.net.SaveState() }
 
+// RestoreState implements Resumable: reload serialized weights and jump
+// the epoch counter so LR schedules continue where the crash left off.
+func (m *realModel) RestoreState(state []byte, epoch int) error {
+	if err := m.net.LoadState(state); err != nil {
+		return err
+	}
+	m.epoch = epoch
+	return nil
+}
+
 // FLOPs implements Trainable.
 func (m *realModel) FLOPs() int64 { return m.flops }
 

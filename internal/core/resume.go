@@ -1,0 +1,60 @@
+package core
+
+// Mid-training resume: advancing a freshly built model to the epoch a
+// checkpoint recorded. Trainers that can deserialise their state do so
+// natively (Resumable); surrogate trainers, whose curve state includes
+// an unserialisable RNG, are fast-forwarded by replaying TrainEpoch —
+// deterministic trainers reproduce the identical drift stream from the
+// same seed. Either way the resulting state is digest-verified against
+// the checkpoint before training continues, so a checkpoint that lies
+// about its model is quarantined instead of silently trusted.
+
+import (
+	"errors"
+	"fmt"
+
+	"a4nn/internal/commons"
+)
+
+// Resumable is implemented by Trainables that can restore serialized
+// state directly (e.g. real gradient-descent models reloading weights);
+// models without it are fast-forwarded by replaying TrainEpoch.
+type Resumable interface {
+	// RestoreState loads the state produced by SaveState after the given
+	// number of completed epochs.
+	RestoreState(state []byte, epoch int) error
+}
+
+// ResumeModel advances a freshly built model (same genome, same seed as
+// the checkpointed one) to cp.Epoch. A failure — restore error, or a
+// state digest that does not match the checkpoint's — means the
+// checkpoint cannot be trusted; the caller quarantines it and trains
+// fresh.
+func ResumeModel(m Trainable, cp *commons.Checkpoint) error {
+	if rs, ok := m.(Resumable); ok && len(cp.State) > 0 {
+		if cp.StateDigest != 0 && commons.StateDigest(cp.State) != cp.StateDigest {
+			return &commons.CorruptionError{Path: cp.ID, Reason: "digest",
+				Err: errors.New("checkpoint state does not match its digest")}
+		}
+		if err := rs.RestoreState(cp.State, cp.Epoch); err != nil {
+			return fmt.Errorf("core: restore %s at epoch %d: %w", cp.ID, cp.Epoch, err)
+		}
+		return nil
+	}
+	for e := 1; e <= cp.Epoch; e++ {
+		if _, err := m.TrainEpoch(); err != nil {
+			return fmt.Errorf("core: fast-forward %s to epoch %d: %w", cp.ID, e, err)
+		}
+	}
+	if cp.StateDigest != 0 {
+		state, err := m.SaveState()
+		if err != nil {
+			return fmt.Errorf("core: verify fast-forward of %s: %w", cp.ID, err)
+		}
+		if commons.StateDigest(state) != cp.StateDigest {
+			return &commons.CorruptionError{Path: cp.ID, Reason: "digest",
+				Err: errors.New("fast-forwarded state diverges from checkpoint")}
+		}
+	}
+	return nil
+}

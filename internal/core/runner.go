@@ -8,6 +8,8 @@ import (
 	"sync"
 	"time"
 
+	"a4nn/internal/chaos"
+	"a4nn/internal/commons"
 	"a4nn/internal/genome"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
@@ -33,6 +35,8 @@ type runner struct {
 	beam           string
 	store          storeLike
 	snapshotEpochs bool
+	checkpoints    bool
+	resume         bool
 	onModel        func(*ModelResult)
 	replayFrom     storeLike
 	samples        int
@@ -55,22 +59,29 @@ type storeLike interface {
 	GetRecord(id string) (*lineage.Record, error)
 	PutRecord(r *lineage.Record) error
 	PutSnapshot(id string, epoch int, state []byte) error
+	GetCheckpoint(id string) (*commons.Checkpoint, error)
+	PutCheckpoint(cp *commons.Checkpoint) error
+	DeleteCheckpoint(id string) error
+	QuarantineRecord(id, reason string) (string, error)
+	QuarantineCheckpoint(id, reason string) (string, error)
 }
 
 // runnerParams bundles the knobs shared by the macro and micro search
 // entry points.
 type runnerParams struct {
-	engineCfg  *predict.Config
-	maxEpochs  int
-	devices    int
-	throughput float64
-	beam       string
-	store      storeLike
-	replay     storeLike
-	snapshots  bool
-	onModel    func(*ModelResult)
-	samples    int
-	seed       int64
+	engineCfg   *predict.Config
+	maxEpochs   int
+	devices     int
+	throughput  float64
+	beam        string
+	store       storeLike
+	replay      storeLike
+	snapshots   bool
+	checkpoints bool
+	resume      bool
+	onModel     func(*ModelResult)
+	samples     int
+	seed        int64
 
 	faults      *sched.FaultPlan
 	retry       sched.RetryPolicy
@@ -106,6 +117,8 @@ func newRunner(p runnerParams) (*runner, error) {
 		beam:           p.beam,
 		store:          p.store,
 		snapshotEpochs: p.snapshots,
+		checkpoints:    p.checkpoints,
+		resume:         p.resume,
 		onModel:        p.onModel,
 		replayFrom:     p.replay,
 		samples:        p.samples,
@@ -169,7 +182,8 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 			dev := tc.Dev
 			recID := fmt.Sprintf("%s-g%02d-i%02d", info.hash, gen, i)
 			if r.replayFrom != nil {
-				if rec, err := r.replayFrom.GetRecord(recID); err == nil && rec.Genome == info.encoding {
+				rec, err := r.replayFrom.GetRecord(recID)
+				if err == nil && rec.Genome == info.encoding {
 					mr := r.modelResult(info, rec, rec.FinalFitness)
 					r.mu.Lock()
 					results[i] = mr
@@ -184,15 +198,48 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 					}
 					return rec.SimSeconds(), nil
 				}
+				if err != nil && errors.Is(err, commons.ErrCorrupt) && r.resume {
+					// A torn record can't be replayed; move it aside so the
+					// retrained model's record can commit in its place.
+					r.quarantine(r.replayFrom.QuarantineRecord, recID, "record", err)
+				}
 			}
 			// The device participates in the seed: training the same
 			// genome on a different accelerator is a different stochastic
 			// realisation, which is how the paper's 1- vs 4-GPU runs come
 			// to differ in epoch savings (§4.3.2).
 			seed := r.seed*1_000_003 + int64(gen)*10_007 + int64(i)*101 + int64(dev.ID)
+			// A mid-training checkpoint, when valid, supplies the model's
+			// original seed and completed epochs: training continues from
+			// the crash instead of restarting, reproducing the fault-free
+			// trajectory exactly.
+			var resumeCp *commons.Checkpoint
+			if r.resume && r.checkpoints && r.store != nil {
+				cp, err := r.store.GetCheckpoint(recID)
+				switch {
+				case err == nil && cp.Genome == info.encoding && cp.Epoch <= r.maxEpochs:
+					resumeCp = cp
+					seed = cp.Seed
+				case errors.Is(err, commons.ErrCorrupt):
+					r.quarantine(r.store.QuarantineCheckpoint, recID, "checkpoint", err)
+				}
+			}
 			model, err := newModel(info, seed)
 			if err != nil {
 				return 0, fmt.Errorf("core: build model for %s: %w", info.hash, err)
+			}
+			if resumeCp != nil {
+				if err := ResumeModel(model, resumeCp); err != nil {
+					// The checkpointed state can't be trusted (a digest
+					// mismatch or restore failure): quarantine it and train
+					// fresh with this attempt's own seed.
+					r.quarantine(r.store.QuarantineCheckpoint, recID, "checkpoint", err)
+					resumeCp = nil
+					seed = r.seed*1_000_003 + int64(gen)*10_007 + int64(i)*101 + int64(dev.ID)
+					if model, err = newModel(info, seed); err != nil {
+						return 0, fmt.Errorf("core: rebuild model for %s: %w", info.hash, err)
+					}
+				}
 			}
 			rec := &lineage.Record{
 				ID:            recID,
@@ -217,9 +264,14 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 				SlowFactor:      tc.SlowFactor,
 				DeadlineSeconds: tc.DeadlineSeconds,
 				Obs:             r.instruments,
+				Seed:            seed,
+				ResumeFrom:      resumeCp,
 			}
 			if r.store != nil && r.snapshotEpochs {
 				orch.Snapshots = r.store.PutSnapshot
+			}
+			if r.store != nil && r.checkpoints {
+				orch.Checkpoint = r.store.PutCheckpoint
 			}
 			outcome, err := orch.TrainModel(tc.Ctx, model, dev, r.samples, rec)
 			if err != nil {
@@ -236,6 +288,16 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 				if err := r.store.PutRecord(rec); err != nil {
 					return outcome.SimSeconds, err
 				}
+				if err := chaos.Point(chaos.PointModelPostRecord); err != nil {
+					// The record is committed; a relaunch replays it, so the
+					// stale checkpoint below is cleaned up by recovery.
+					return outcome.SimSeconds, err
+				}
+				if r.checkpoints {
+					// Best effort: a leftover checkpoint for a committed
+					// record is detected as stale and removed by recovery.
+					r.store.DeleteCheckpoint(recID)
+				}
 			}
 			mr := r.modelResult(info, rec, outcome.FinalFitness)
 			r.mu.Lock()
@@ -243,6 +305,9 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 			r.res.TotalEpochs += outcome.EpochsTrained
 			if outcome.Terminated {
 				r.res.TerminatedEarly++
+			}
+			if resumeCp != nil {
+				r.res.Resumed++
 			}
 			r.res.Overhead.TotalSeconds += outcome.EngineSeconds
 			r.res.Overhead.Interactions += outcome.Interactions
@@ -258,6 +323,13 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 	replayedBefore := r.res.Replayed
 	r.mu.Unlock()
 	if _, err := r.pool.RunGeneration(ctx, tasks); err != nil {
+		return nil, err
+	}
+	// Every record of the generation is durable; a crash at this point —
+	// after the training barrier, before the NAS advances — is the
+	// cheapest to recover (pure replay), and the soak harness exercises
+	// it explicitly.
+	if err := chaos.Point(chaos.PointGenerationCommit); err != nil {
 		return nil, err
 	}
 	objs := make([][]float64, len(infos))
@@ -305,6 +377,38 @@ func (r *runner) paretoFrontLocked() []obs.ParetoPoint {
 		}
 	}
 	return front
+}
+
+// quarantine moves a corrupt file aside via the store's quarantine
+// method, counting it and surfacing the action as a recovery journal
+// event (which the health engine turns into an alert).
+func (r *runner) quarantine(move func(id, reason string) (string, error), id, kind string, cause error) {
+	reason := commons.CorruptionReason(cause)
+	dest, err := move(id, reason)
+	if err != nil {
+		return // already moved (another attempt won the race) or unreadable
+	}
+	r.mu.Lock()
+	r.res.Quarantined++
+	r.mu.Unlock()
+	r.journal.Emit(obs.Event{
+		Type:   obs.EventRecovery,
+		Model:  id,
+		Reason: reason,
+		Path:   dest,
+		Msg:    fmt.Sprintf("quarantined corrupt %s %s (%s)", kind, id, reason),
+	})
+}
+
+// attachRecovery folds a resume preflight's report into the result.
+func (r *runner) attachRecovery(rep *RecoveryReport) {
+	if rep == nil {
+		return
+	}
+	r.mu.Lock()
+	r.res.Recovery = rep
+	r.res.Quarantined += len(rep.Quarantined)
+	r.mu.Unlock()
 }
 
 // modelResult assembles a ModelResult from a record.

@@ -40,6 +40,12 @@ type Config struct {
 	// additionally stores per-epoch model states.
 	Store          *commons.Store
 	SnapshotEpochs bool
+	// Checkpoints persists each model's mid-training progress into Store
+	// after every epoch, so a killed run rerun with Resume continues
+	// *inside* the interrupted generation — finished models replay from
+	// their records, half-trained ones from their checkpoints. Requires
+	// Store.
+	Checkpoints bool
 	// OnModel, when non-nil, is invoked once per evaluated network as it
 	// finishes training — for progress reporting. With multiple devices
 	// it is called from multiple goroutines; implementations must be
@@ -117,16 +123,19 @@ func (c Config) Validate() error {
 	if c.MutationRate < 0 || c.MutationRate > 1 {
 		return fmt.Errorf("core: MutationRate %v outside [0,1]", c.MutationRate)
 	}
-	return validateFaultKnobs(c.Resume, c.Store != nil, c.ReplayFrom != nil,
+	return validateFaultKnobs(c.Resume, c.Checkpoints, c.Store != nil, c.ReplayFrom != nil,
 		c.Faults, c.Retry, c.TaskTimeoutSeconds)
 }
 
 // validateFaultKnobs checks the fault-tolerance configuration shared by
 // the macro and micro workflows.
-func validateFaultKnobs(resume, hasStore, hasReplay bool,
+func validateFaultKnobs(resume, checkpoints, hasStore, hasReplay bool,
 	faults *sched.FaultPlan, retry sched.RetryPolicy, timeout float64) error {
 	if resume && !hasStore {
 		return fmt.Errorf("core: Resume requires Store")
+	}
+	if checkpoints && !hasStore {
+		return fmt.Errorf("core: Checkpoints requires Store")
 	}
 	if resume && hasReplay {
 		return fmt.Errorf("core: Resume and ReplayFrom are mutually exclusive (Resume replays from Store)")
@@ -187,6 +196,15 @@ type Result struct {
 	// GenerationsReplayed counts generations whose every model was
 	// replayed — the generations a resumed search skipped.
 	GenerationsReplayed int
+	// Resumed counts networks that continued from a mid-training
+	// checkpoint instead of retraining from epoch 1.
+	Resumed int
+	// Quarantined counts corrupt files moved aside during this run
+	// (recovery preflight plus any found mid-replay).
+	Quarantined int
+	// Recovery, when the Resume preflight ran, details what it found and
+	// repaired.
+	Recovery *RecoveryReport
 	// Overhead aggregates the engine's measured cost.
 	Overhead OverheadStats
 }
@@ -234,6 +252,14 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Resume {
 		replay = nilableStore(cfg.Store)
 	}
+	var recovery *RecoveryReport
+	if cfg.Resume {
+		rep, err := RecoverStore(cfg.Store, cfg.Obs.Journal())
+		if err != nil {
+			return nil, err
+		}
+		recovery = rep
+	}
 	ctx = obs.WithTracer(ctx, cfg.Obs.Tracer())
 	r, err := newRunner(runnerParams{
 		engineCfg:   cfg.Engine,
@@ -244,6 +270,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		store:       nilableStore(cfg.Store),
 		replay:      replay,
 		snapshots:   cfg.SnapshotEpochs,
+		checkpoints: cfg.Checkpoints,
+		resume:      cfg.Resume,
 		onModel:     cfg.OnModel,
 		samples:     cfg.Trainer.TrainSamples(),
 		seed:        cfg.NAS.Seed,
@@ -255,6 +283,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.attachRecovery(recovery)
 	r.journal.Emit(obs.Event{Type: obs.EventRunStart, Devices: cfg.Devices, Epochs: cfg.MaxEpochs})
 
 	evaluator := nsga.EvaluatorFunc[*genome.Genome](func(gen int, cands []*genome.Genome) ([][]float64, error) {

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"a4nn/internal/chaos"
 	"a4nn/internal/obs"
 )
 
@@ -96,6 +97,9 @@ type manager struct {
 	journal      *obs.Journal
 	file         *os.File
 	now          func() time.Time
+	// notify, when set, receives every alert transition (the exec
+	// sink's hook). Called under the engine mutex; must not block.
+	notify func(a Alert, transition string)
 
 	active   map[string]*Alert
 	healthy  map[string]int // consecutive clean checks per active alert
@@ -140,12 +144,17 @@ func (m *manager) openFile(path string) error {
 }
 
 // persist appends one alert state line (crash-safe: append-only, one
-// line per transition; a torn final line is skipped by readers).
+// line per transition; a torn final line is skipped by readers). The
+// chaos point sits before the write, so an injected crash tears the
+// file exactly where a real one would.
 func (m *manager) persist(a *Alert) {
 	if m.file == nil {
 		return
 	}
 	line, err := json.Marshal(a)
+	if err == nil {
+		err = chaos.Point(chaos.PointAlertsAppend)
+	}
 	if err == nil {
 		_, err = m.file.Write(append(line, '\n'))
 	}
@@ -192,6 +201,9 @@ func (m *manager) apply(findings []finding) {
 				m.firedCounter(f.Severity).Inc()
 				m.persist(a)
 				m.emit(obs.EventAlert, a)
+				if m.notify != nil {
+					m.notify(*a, "escalated")
+				}
 			}
 			continue
 		}
@@ -212,6 +224,9 @@ func (m *manager) apply(findings []finding) {
 		m.activeGauge.Set(float64(len(m.active)))
 		m.persist(a)
 		m.emit(obs.EventAlert, a)
+		if m.notify != nil {
+			m.notify(*a, "fired")
+		}
 	}
 	for id, a := range m.active {
 		if seen[id] {
@@ -234,6 +249,9 @@ func (m *manager) apply(findings []finding) {
 		m.activeGauge.Set(float64(len(m.active)))
 		m.persist(a)
 		m.emit(obs.EventAlertResolved, a)
+		if m.notify != nil {
+			m.notify(*a, "resolved")
+		}
 	}
 }
 

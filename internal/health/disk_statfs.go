@@ -1,0 +1,20 @@
+//go:build linux || darwin
+
+package health
+
+import "syscall"
+
+// statfsImpl reads filesystem capacity via Statfs. Bavail (blocks
+// available to unprivileged users) is the honest "can I still write"
+// number; Bfree would overcount the root reserve.
+func statfsImpl(path string) (diskUsage, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return diskUsage{}, err
+	}
+	bsize := uint64(st.Bsize)
+	return diskUsage{
+		totalBytes: st.Blocks * bsize,
+		availBytes: st.Bavail * bsize,
+	}, nil
+}

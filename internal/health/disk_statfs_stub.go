@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package health
+
+import "fmt"
+
+// statfsImpl on platforms without Statfs reports its absence; the disk
+// monitor surfaces that as a warning instead of pretending to watch.
+func statfsImpl(path string) (diskUsage, error) {
+	return diskUsage{}, fmt.Errorf("disk watermark monitoring unsupported on this platform")
+}

@@ -84,6 +84,29 @@ type Config struct {
 	// SubscriberBuffer sizes the engine's broker subscription; the
 	// default (4096) comfortably holds a generation's burst.
 	SubscriberBuffer int
+	// AlertCommand, when non-empty, is a shell command executed (via
+	// `sh -c`) on every alert transition: the alert JSON arrives on
+	// stdin and A4NN_ALERT_* environment variables carry the headline
+	// fields. Execution is asynchronous and never blocks a check cycle.
+	AlertCommand string
+	// AlertCommandInterval rate-limits AlertCommand per alert ID
+	// (default 10s); transitions inside the window are counted as
+	// dropped, not queued.
+	AlertCommandInterval time.Duration
+	// EmitRuntimeSamples publishes each runtime sample as a
+	// runtime_sample journal event, so a cross-process follower
+	// (a4nn-serve -follow -health) monitors the producer's runtime
+	// rather than its own.
+	EmitRuntimeSamples bool
+	// DiskPath, when non-empty, enables the disk watermark monitor on
+	// the filesystem holding that path (normally the commons dir — the
+	// store's durability is worthless on a full disk).
+	DiskPath string
+	// DiskWarnFrac and DiskCritFrac are the free-space fractions below
+	// which the disk monitor warns / goes critical (defaults 0.10 and
+	// 0.03).
+	DiskWarnFrac float64
+	DiskCritFrac float64
 }
 
 // DefaultConfig returns the default thresholds described on Config.
@@ -105,6 +128,9 @@ func DefaultConfig() Config {
 		GCPauseP99:           50 * time.Millisecond,
 		ResolveAfter:         3,
 		SubscriberBuffer:     4096,
+		AlertCommandInterval: 10 * time.Second,
+		DiskWarnFrac:         0.10,
+		DiskCritFrac:         0.03,
 	}
 }
 
@@ -159,6 +185,15 @@ func (c Config) withDefaults() Config {
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = d.SubscriberBuffer
 	}
+	if c.AlertCommandInterval <= 0 {
+		c.AlertCommandInterval = d.AlertCommandInterval
+	}
+	if c.DiskWarnFrac <= 0 {
+		c.DiskWarnFrac = d.DiskWarnFrac
+	}
+	if c.DiskCritFrac <= 0 {
+		c.DiskCritFrac = d.DiskCritFrac
+	}
 	return c
 }
 
@@ -173,7 +208,8 @@ func (c Config) withDefaults() Config {
 //	queue-factor=3        queue-min-wait=1
 //	sample-ms=5000        max-goroutines=2000
 //	heap-growth=4         gc-pause-ms=50
-//	resolve-after=3
+//	resolve-after=3       alert-cmd-ms=10000
+//	disk-warn=0.10        disk-crit=0.03
 //
 // Unset keys keep their defaults. An empty spec returns DefaultConfig.
 func ParseConfig(spec string) (Config, error) {
@@ -244,6 +280,12 @@ func ParseConfig(spec string) (Config, error) {
 			err = msVal(&cfg.GCPauseP99)
 		case "resolve-after":
 			err = intVal(&cfg.ResolveAfter)
+		case "alert-cmd-ms":
+			err = msVal(&cfg.AlertCommandInterval)
+		case "disk-warn":
+			err = floatVal(&cfg.DiskWarnFrac)
+		case "disk-crit":
+			err = floatVal(&cfg.DiskCritFrac)
 		default:
 			err = fmt.Errorf("health: unknown config key %q", key)
 		}
@@ -253,6 +295,14 @@ func ParseConfig(spec string) (Config, error) {
 	}
 	if cfg.MinCapacity > 1 {
 		return cfg, fmt.Errorf("health: min-capacity is a fraction, got %v", cfg.MinCapacity)
+	}
+	if cfg.DiskWarnFrac >= 1 || cfg.DiskCritFrac >= 1 {
+		return cfg, fmt.Errorf("health: disk watermarks are fractions, got warn=%v crit=%v",
+			cfg.DiskWarnFrac, cfg.DiskCritFrac)
+	}
+	if cfg.DiskCritFrac >= cfg.DiskWarnFrac {
+		return cfg, fmt.Errorf("health: disk-crit (%v) must be below disk-warn (%v)",
+			cfg.DiskCritFrac, cfg.DiskWarnFrac)
 	}
 	return cfg, nil
 }
@@ -315,6 +365,7 @@ type Engine struct {
 	mu       sync.Mutex
 	monitors []monitor
 	mgr      *manager
+	sink     *execSink
 	scratch  []finding // reused across checks
 	sub      *obs.Subscriber
 	done     chan struct{}
@@ -341,10 +392,18 @@ func New(cfg Config, o *obs.Observer) (*Engine, error) {
 			newDevicepool(cfg),
 			newQueuewait(cfg, reg),
 			newBackpressure(reg),
-			newRuntimeMon(cfg, reg),
+			newRuntimeMon(cfg, reg, o.Journal()),
+			newRecoveryMon(),
 		},
 		mgr:    newManager(cfg.ResolveAfter, o),
 		checks: reg.Counter("a4nn_health_checks_total"),
+	}
+	if cfg.DiskPath != "" {
+		e.monitors = append(e.monitors, newDiskMon(cfg, reg))
+	}
+	if cfg.AlertCommand != "" {
+		e.sink = newExecSink(cfg.AlertCommand, cfg.AlertCommandInterval, o)
+		e.mgr.notify = e.sink.notify
 	}
 	return e, nil
 }
@@ -458,9 +517,16 @@ func (e *Engine) Close() error {
 		<-done
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.checkLocked()
-	return e.mgr.close()
+	err := e.mgr.close()
+	sink := e.sink
+	e.sink = nil
+	e.mgr.notify = nil
+	e.mu.Unlock()
+	// The sink drains outside the engine mutex: a slow alert command
+	// must not stall Observe on another goroutine.
+	sink.close()
+	return err
 }
 
 // Status returns the aggregate status (StatusOK on a nil engine).

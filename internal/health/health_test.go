@@ -281,8 +281,8 @@ func TestReportMonitors(t *testing.T) {
 	for _, m := range rep.Monitors {
 		byName[m.Name] = m
 	}
-	if len(byName) != 7 {
-		t.Fatalf("monitors = %d, want 7 (%+v)", len(byName), rep.Monitors)
+	if len(byName) != 8 {
+		t.Fatalf("monitors = %d, want 8 (%+v)", len(byName), rep.Monitors)
 	}
 	if m := byName["devices"]; m.Status != "degraded" || m.Active != 1 || m.Detail == "" {
 		t.Fatalf("devices row = %+v", m)

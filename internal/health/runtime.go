@@ -23,16 +23,25 @@ const (
 // they flush into metrics.json with everything else; threshold
 // breaches fire warnings — a leaking search process is the kind of
 // slow in-situ failure nothing else in the stack would ever report.
+//
+// With EmitRuntimeSamples set, each fresh sample also publishes a
+// runtime_sample journal event. A monitor that instead *receives*
+// runtime_sample events (a follower tailing a producer's journal in
+// another process) adopts them and stops sampling its own runtime —
+// the thresholds then watch the search process, not the viewer.
 type runtimeMon struct {
 	interval      time.Duration
 	maxGoroutines int
 	heapGrowth    float64
 	gcPauseP99    time.Duration
+	emit          bool
+	journal       *obs.Journal
 
 	now     func() time.Time
 	samples []metrics.Sample
 	last    time.Time
 	sampled bool
+	adopted bool // external samples drive the readings
 
 	goroutines int
 	heapBytes  uint64
@@ -44,12 +53,14 @@ type runtimeMon struct {
 	gPause      *obs.Gauge
 }
 
-func newRuntimeMon(cfg Config, reg *obs.Registry) *runtimeMon {
+func newRuntimeMon(cfg Config, reg *obs.Registry, journal *obs.Journal) *runtimeMon {
 	return &runtimeMon{
 		interval:      cfg.SampleInterval,
 		maxGoroutines: cfg.MaxGoroutines,
 		heapGrowth:    cfg.HeapGrowthFactor,
 		gcPauseP99:    cfg.GCPauseP99,
+		emit:          cfg.EmitRuntimeSamples,
+		journal:       journal,
 		now:           time.Now,
 		samples: []metrics.Sample{
 			{Name: goroutinesMetric},
@@ -64,10 +75,30 @@ func newRuntimeMon(cfg Config, reg *obs.Registry) *runtimeMon {
 
 func (r *runtimeMon) name() string { return "runtime" }
 
-func (r *runtimeMon) observe(obs.Event) {}
+// observe adopts cross-process runtime samples. A producer (emit set)
+// ignores its own events coming back through the broker.
+func (r *runtimeMon) observe(e obs.Event) {
+	if e.Type != obs.EventRuntimeSample || r.emit {
+		return
+	}
+	r.adopted = true
+	r.goroutines = e.Goroutines
+	r.heapBytes = e.HeapBytes
+	r.pauseP99 = e.GCPauseSec
+	if !r.sampled {
+		r.heapBase = e.HeapBytes
+	}
+	r.sampled = true
+	r.gGoroutines.Set(float64(r.goroutines))
+	r.gHeap.Set(float64(r.heapBytes))
+	r.gPause.Set(r.pauseP99)
+}
 
 // sample reads the runtime, throttled to the configured interval.
 func (r *runtimeMon) sample() {
+	if r.adopted {
+		return // an external producer supplies the readings
+	}
 	now := r.now()
 	if r.sampled && now.Sub(r.last) < r.interval {
 		return
@@ -97,6 +128,14 @@ func (r *runtimeMon) sample() {
 	r.gGoroutines.Set(float64(r.goroutines))
 	r.gHeap.Set(float64(r.heapBytes))
 	r.gPause.Set(r.pauseP99)
+	if r.emit {
+		r.journal.Emit(obs.Event{
+			Type:       obs.EventRuntimeSample,
+			Goroutines: r.goroutines,
+			HeapBytes:  r.heapBytes,
+			GCPauseSec: r.pauseP99,
+		})
+	}
 }
 
 func (r *runtimeMon) check(out []finding) []finding {

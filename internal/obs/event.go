@@ -2,11 +2,14 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
 	"time"
+
+	"a4nn/internal/chaos"
 )
 
 // EventsFile holds the run's event journal as JSON Lines, appended
@@ -34,6 +37,18 @@ const (
 	EventParetoUpdate     = "pareto_update"
 	EventAlert            = "alert"
 	EventAlertResolved    = "alert_resolved"
+	// EventModelResume marks a model continuing from a mid-training
+	// checkpoint after a crash; Epoch is the checkpointed epoch count.
+	EventModelResume = "model_resume"
+	// EventRecovery reports a corruption-recovery action (a quarantined
+	// file, a lost record); Reason carries the typed corruption reason.
+	EventRecovery = "recovery"
+	// EventRuntimeSample carries process runtime metrics (goroutines,
+	// heap, GC pause) so a follower in another process can health-check
+	// the producer.
+	EventRuntimeSample = "runtime_sample"
+	// EventAlertCmd logs one -alert-cmd execution and its exit code.
+	EventAlertCmd = "alert_cmd"
 )
 
 // ParetoPoint is one model on the current Pareto front, carried by
@@ -89,6 +104,15 @@ type Event struct {
 	Severity string `json:"severity,omitempty"`
 	Msg      string `json:"msg,omitempty"`
 	Count    int    `json:"count,omitempty"`
+
+	// Recovery events.
+	Reason string `json:"reason,omitempty"`
+	Path   string `json:"path,omitempty"`
+
+	// Runtime-sample events.
+	Goroutines int     `json:"goroutines,omitempty"`
+	HeapBytes  uint64  `json:"heap_bytes,omitempty"`
+	GCPauseSec float64 `json:"gc_pause_s,omitempty"`
 }
 
 // DefaultJournalCapacity bounds the in-memory replay ring. At the
@@ -165,23 +189,78 @@ func (j *Journal) Subscribe(buf int) *Subscriber {
 
 // OpenFile attaches an append-only events file at path. Safe to call
 // once before the run starts; events emitted earlier live only in the
-// ring.
+// ring. Appending to an existing journal (a resumed run) continues its
+// sequence numbering, so seq stays strictly increasing across the whole
+// file no matter how many times the process was killed and relaunched.
 func (j *Journal) OpenFile(path string) error {
 	if j == nil {
 		return fmt.Errorf("obs: OpenFile on nil journal")
 	}
+	last, torn := scanTail(path)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("obs: open events file: %w", err)
 	}
+	if torn {
+		// Terminate the torn final line of a crashed run, so the next
+		// append starts on its own line instead of gluing onto garbage.
+		f.Write([]byte{'\n'})
+	}
 	j.mu.Lock()
 	old := j.file
 	j.file = f
+	if last >= j.next {
+		j.next = last + 1
+	}
 	j.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
 	return nil
+}
+
+// scanTail inspects the final window of an events file, returning the
+// highest valid sequence number (0 when the file is missing, empty, or
+// unreadable) and whether the file ends mid-line — the signature of a
+// crash during an append. Only the tail is scanned, so opening a
+// long-lived journal stays O(1).
+func scanTail(path string) (last uint64, torn bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return 0, false
+	}
+	const window = 256 * 1024
+	off := st.Size() - window
+	if off < 0 {
+		off = 0
+	}
+	buf := make([]byte, st.Size()-off)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return 0, false
+	}
+	torn = buf[len(buf)-1] != '\n'
+	lines := bytes.Split(buf, []byte{'\n'})
+	if off > 0 && len(lines) > 0 {
+		lines = lines[1:] // first line of a mid-file window may be partial
+	}
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue // torn tail or foreign line
+		}
+		if e.Seq > last {
+			last = e.Seq
+		}
+	}
+	return last, torn
 }
 
 // Sync forces the attached events file to stable storage (no-op when
@@ -233,10 +312,13 @@ func (j *Journal) Emit(e Event) {
 	j.next++
 	j.store(e)
 	if j.file != nil {
-		line, err := json.Marshal(e)
+		err := chaos.Point(chaos.PointJournalAppend)
 		if err == nil {
-			j.buf = append(append(j.buf[:0], line...), '\n')
-			_, err = j.file.Write(j.buf)
+			var line []byte
+			if line, err = json.Marshal(e); err == nil {
+				j.buf = append(append(j.buf[:0], line...), '\n')
+				_, err = j.file.Write(j.buf)
+			}
 		}
 		if err != nil {
 			j.fileErrs.Inc()

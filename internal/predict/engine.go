@@ -291,6 +291,19 @@ func (t *Tracker) Observe(fitness float64) (converged bool) {
 	return t.converged
 }
 
+// Restore rehydrates the tracker from persisted state (a model-level
+// checkpoint): the fitness history H, the prediction history P with the
+// epochs that produced it, and whether the analyzer had already declared
+// convergence. Subsequent Observe calls continue exactly where the
+// persisted run stopped — no convergence event is re-emitted for an
+// already-converged tracker.
+func (t *Tracker) Restore(h, p []float64, predEpochs []int, converged bool) {
+	t.H = append(t.H[:0], h...)
+	t.P = append(t.P[:0], p...)
+	t.PredEpochs = append(t.PredEpochs[:0], predEpochs...)
+	t.converged = converged
+}
+
 // Converged reports whether the analyzer has declared convergence.
 func (t *Tracker) Converged() bool { return t.converged }
 

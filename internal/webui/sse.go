@@ -142,7 +142,8 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
 <div class="card"><h2>Prediction savings</h2>
   <div class="big"><span id="saved">0</span> epochs saved</div>
   <div class="muted"><span id="terms">0</span> early terminations ·
-    <span id="faults">0</span> faults · <span id="retries">0</span> retries</div></div>
+    <span id="faults">0</span> faults · <span id="retries">0</span> retries ·
+    <span id="resumes">0</span> resumes · <span id="quar">0</span> quarantined</div></div>
 <div class="card"><h2>Device utilization</h2><div id="devices" class="muted">no generation finished yet</div></div>
 <div class="card"><h2>Validation accuracy</h2><canvas id="acc" width="560" height="120"></canvas>
   <div class="muted">last <span id="accn">0</span> epoch reports</div></div>
@@ -153,7 +154,8 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
 <script>
 "use strict";
 const $ = id => document.getElementById(id);
-let tasksDone = 0, tasksTotal = 0, saved = 0, terms = 0, faults = 0, retries = 0;
+let tasksDone = 0, tasksTotal = 0, saved = 0, terms = 0, faults = 0, retries = 0,
+  resumes = 0, quarantined = 0;
 const accs = [], maxAccs = 200;
 let front = [];
 function logLine(s) {
@@ -230,6 +232,15 @@ function handle(type, e) {
     logLine("fault on device " + (e.device || 0) + ": " + (e.err || "")); break;
   case "task_retry":
     retries++; $("retries").textContent = retries; break;
+  case "model_resume":
+    resumes++; $("resumes").textContent = resumes;
+    logLine("resumed " + (e.model || "?") + " from checkpoint at epoch " + (e.epoch || 0));
+    break;
+  case "recovery":
+    if (e.reason !== "stale") { quarantined++; $("quar").textContent = quarantined; }
+    logLine("recovery: " + (e.msg || e.reason || "")); break;
+  case "alert_cmd":
+    logLine(e.msg || "alert command ran"); break;
   case "run_end":
     logLine("run finished: " + (e.tasks || 0) + " models, " +
       (e.saved_epochs || 0) + " epochs saved"); break;
@@ -258,7 +269,8 @@ function handle(type, e) {
 const alerts = new Map();
 const types = ["run_start","run_end","generation_start","generation_end","task_dispatch",
   "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
-  "predict_terminate","pareto_update","alert","alert_resolved"];
+  "predict_terminate","pareto_update","alert","alert_resolved",
+  "model_resume","recovery","alert_cmd"];
 const es = new EventSource("/events");
 es.onopen = () => { const c = $("conn"); c.textContent = "live"; c.className = "ok"; };
 es.onerror = () => { const c = $("conn"); c.textContent = "reconnecting…"; c.className = "bad"; };

@@ -71,3 +71,21 @@ if [ "$healthallocs" -gt 0 ]; then
     exit 1
 fi
 echo "benchgate: ok — disabled health monitor $healthallocs allocs/op"
+
+# Disarmed crash points must be free too: every durable-state
+# transition calls chaos.Point, so with no -chaos plan installed the
+# check is one atomic load and zero allocations.
+cout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkDisabledChaos$' -benchmem ./internal/chaos)
+echo "$cout"
+chaosallocs=$(echo "$cout" | awk '/^BenchmarkDisabledChaos(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$chaosallocs" ]; then
+    echo "benchgate: BenchmarkDisabledChaos reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$chaosallocs" -gt 0 ]; then
+    echo "benchgate: FAIL — disarmed chaos point allocates $chaosallocs/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — disarmed chaos point $chaosallocs allocs/op"

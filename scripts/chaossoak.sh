@@ -1,0 +1,16 @@
+#!/bin/sh
+# chaossoak.sh is the crash-recovery acceptance sweep: it runs the
+# TestChaosSoak harness (chaos_soak_test.go) over CHAOS_SOAK_ITERS
+# randomly seeded crash plans. Each plan crashes the real a4nn CLI at a
+# named durable-state transition, relaunches it with -resume until the
+# search completes, and asserts the crash-consistency contract — the
+# journal sequence stays monotone, no model retrains epochs its
+# checkpoint already covers, every store file decodes, and the final
+# Pareto front is byte-identical to a fault-free same-seed run.
+# Run via `make chaos-soak`.
+set -eu
+
+iters="${CHAOS_SOAK_ITERS:-20}"
+echo "chaossoak: $iters seeded crash plans"
+CHAOS_SOAK_ITERS="$iters" "${GO:-go}" test -run 'TestChaosSoak$' -count=1 -v .
+echo "chaossoak: ok"
