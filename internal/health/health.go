@@ -77,6 +77,17 @@ type Config struct {
 	MaxGoroutines    int
 	HeapGrowthFactor float64
 	GCPauseP99       time.Duration
+	// RSSWarnMB/RSSCritMB bound the process resident set size in MiB
+	// (defaults 4096 and 8192) and FDWarn/FDCrit the open file
+	// descriptor count (defaults 512 and 960) — OS-level leaks the Go
+	// heap metrics can't see (mmap growth, cgo, leaked sockets or
+	// journal handles). Zero keeps the default; a negative warn value
+	// disables that pair; both checks stay silent on platforms without
+	// a readable /proc/self.
+	RSSWarnMB int
+	RSSCritMB int
+	FDWarn    int
+	FDCrit    int
 	// ResolveAfter is the flap-suppression window: an active alert
 	// resolves only after this many consecutive checks in which its
 	// monitor stayed quiet (default 3).
@@ -126,6 +137,10 @@ func DefaultConfig() Config {
 		MaxGoroutines:        2000,
 		HeapGrowthFactor:     4,
 		GCPauseP99:           50 * time.Millisecond,
+		RSSWarnMB:            4096,
+		RSSCritMB:            8192,
+		FDWarn:               512,
+		FDCrit:               960,
 		ResolveAfter:         3,
 		SubscriberBuffer:     4096,
 		AlertCommandInterval: 10 * time.Second,
@@ -179,6 +194,18 @@ func (c Config) withDefaults() Config {
 	if c.GCPauseP99 <= 0 {
 		c.GCPauseP99 = d.GCPauseP99
 	}
+	if c.RSSWarnMB == 0 {
+		c.RSSWarnMB = d.RSSWarnMB
+	}
+	if c.RSSCritMB == 0 {
+		c.RSSCritMB = d.RSSCritMB
+	}
+	if c.FDWarn == 0 {
+		c.FDWarn = d.FDWarn
+	}
+	if c.FDCrit == 0 {
+		c.FDCrit = d.FDCrit
+	}
 	if c.ResolveAfter <= 0 {
 		c.ResolveAfter = d.ResolveAfter
 	}
@@ -208,6 +235,8 @@ func (c Config) withDefaults() Config {
 //	queue-factor=3        queue-min-wait=1
 //	sample-ms=5000        max-goroutines=2000
 //	heap-growth=4         gc-pause-ms=50
+//	rss-warn-mb=4096      rss-crit-mb=8192
+//	fd-warn=512           fd-crit=960
 //	resolve-after=3       alert-cmd-ms=10000
 //	disk-warn=0.10        disk-crit=0.03
 //
@@ -278,6 +307,14 @@ func ParseConfig(spec string) (Config, error) {
 			err = floatVal(&cfg.HeapGrowthFactor)
 		case "gc-pause-ms":
 			err = msVal(&cfg.GCPauseP99)
+		case "rss-warn-mb":
+			err = intVal(&cfg.RSSWarnMB)
+		case "rss-crit-mb":
+			err = intVal(&cfg.RSSCritMB)
+		case "fd-warn":
+			err = intVal(&cfg.FDWarn)
+		case "fd-crit":
+			err = intVal(&cfg.FDCrit)
 		case "resolve-after":
 			err = intVal(&cfg.ResolveAfter)
 		case "alert-cmd-ms":
@@ -303,6 +340,14 @@ func ParseConfig(spec string) (Config, error) {
 	if cfg.DiskCritFrac >= cfg.DiskWarnFrac {
 		return cfg, fmt.Errorf("health: disk-crit (%v) must be below disk-warn (%v)",
 			cfg.DiskCritFrac, cfg.DiskWarnFrac)
+	}
+	if cfg.RSSCritMB <= cfg.RSSWarnMB {
+		return cfg, fmt.Errorf("health: rss-crit-mb (%d) must exceed rss-warn-mb (%d)",
+			cfg.RSSCritMB, cfg.RSSWarnMB)
+	}
+	if cfg.FDCrit <= cfg.FDWarn {
+		return cfg, fmt.Errorf("health: fd-crit (%d) must exceed fd-warn (%d)",
+			cfg.FDCrit, cfg.FDWarn)
 	}
 	return cfg, nil
 }

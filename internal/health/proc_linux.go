@@ -1,0 +1,40 @@
+//go:build linux
+
+package health
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// procSelfSample reads OS-level process signals from /proc/self: the
+// resident set size (statm field 2, in pages) and the number of open
+// file descriptors (entries in /proc/self/fd). ok is false when procfs
+// is unreadable — containers occasionally mount it restricted — in
+// which case the RSS/fd checks stay silent rather than alerting on
+// zeros.
+func procSelfSample() (rssBytes uint64, fds int, ok bool) {
+	statm, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, 0, false
+	}
+	fields := strings.Fields(string(statm))
+	if len(fields) < 2 {
+		return 0, 0, false
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, 0, false
+	}
+	// The ReadDir handle itself is open while counting; don't count it.
+	fds = len(ents) - 1
+	if fds < 0 {
+		fds = 0
+	}
+	return pages * uint64(os.Getpagesize()), fds, true
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package health
+
+// procSelfSample without procfs reports no reading; the RSS/fd checks
+// stay silent instead of alerting on zeros.
+func procSelfSample() (rssBytes uint64, fds int, ok bool) {
+	return 0, 0, false
+}

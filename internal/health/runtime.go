@@ -18,8 +18,10 @@ const (
 
 // runtimeMon samples the Go runtime at most once per SampleInterval
 // (checks between samples reuse the cached reading): goroutine count,
-// live heap bytes, and the p99 GC pause from the runtime's cumulative
-// pause histogram. The readings publish as a4nn_health_* gauges so
+// live heap bytes, the p99 GC pause from the runtime's cumulative
+// pause histogram, and — where /proc/self is readable — the OS-level
+// resident set size and open-fd count, which catch the leaks the Go
+// heap gauges can't see. The readings publish as a4nn_health_* gauges so
 // they flush into metrics.json with everything else; threshold
 // breaches fire warnings — a leaking search process is the kind of
 // slow in-situ failure nothing else in the stack would ever report.
@@ -34,27 +36,37 @@ type runtimeMon struct {
 	maxGoroutines int
 	heapGrowth    float64
 	gcPauseP99    time.Duration
+	rssWarn       uint64 // bytes; 0 disables
+	rssCrit       uint64
+	fdWarn        int // 0 disables
+	fdCrit        int
 	emit          bool
 	journal       *obs.Journal
 
-	now     func() time.Time
-	samples []metrics.Sample
-	last    time.Time
-	sampled bool
-	adopted bool // external samples drive the readings
+	now      func() time.Time
+	procRead func() (rssBytes uint64, fds int, ok bool)
+	samples  []metrics.Sample
+	last     time.Time
+	sampled  bool
+	adopted  bool // external samples drive the readings
 
 	goroutines int
 	heapBytes  uint64
 	heapBase   uint64 // first observed heap size, the growth reference
 	pauseP99   float64
+	rssBytes   uint64
+	fds        int
+	procOK     bool // the OS-level readings are real, not platform zeros
 
 	gGoroutines *obs.Gauge
 	gHeap       *obs.Gauge
 	gPause      *obs.Gauge
+	gRSS        *obs.Gauge
+	gFDs        *obs.Gauge
 }
 
 func newRuntimeMon(cfg Config, reg *obs.Registry, journal *obs.Journal) *runtimeMon {
-	return &runtimeMon{
+	r := &runtimeMon{
 		interval:      cfg.SampleInterval,
 		maxGoroutines: cfg.MaxGoroutines,
 		heapGrowth:    cfg.HeapGrowthFactor,
@@ -62,6 +74,7 @@ func newRuntimeMon(cfg Config, reg *obs.Registry, journal *obs.Journal) *runtime
 		emit:          cfg.EmitRuntimeSamples,
 		journal:       journal,
 		now:           time.Now,
+		procRead:      procSelfSample,
 		samples: []metrics.Sample{
 			{Name: goroutinesMetric},
 			{Name: heapMetric},
@@ -70,7 +83,22 @@ func newRuntimeMon(cfg Config, reg *obs.Registry, journal *obs.Journal) *runtime
 		gGoroutines: reg.Gauge("a4nn_health_goroutines"),
 		gHeap:       reg.Gauge("a4nn_health_heap_bytes"),
 		gPause:      reg.Gauge("a4nn_health_gc_pause_p99_seconds"),
+		gRSS:        reg.Gauge("a4nn_health_rss_bytes"),
+		gFDs:        reg.Gauge("a4nn_health_fds"),
 	}
+	// A negative warn threshold disables the pair, matching the
+	// MaxGoroutines convention.
+	if cfg.RSSWarnMB > 0 {
+		r.rssWarn = uint64(cfg.RSSWarnMB) << 20
+	}
+	if cfg.RSSCritMB > 0 && cfg.RSSWarnMB > 0 {
+		r.rssCrit = uint64(cfg.RSSCritMB) << 20
+	}
+	if cfg.FDWarn > 0 {
+		r.fdWarn = cfg.FDWarn
+		r.fdCrit = cfg.FDCrit
+	}
+	return r
 }
 
 func (r *runtimeMon) name() string { return "runtime" }
@@ -85,13 +113,24 @@ func (r *runtimeMon) observe(e obs.Event) {
 	r.goroutines = e.Goroutines
 	r.heapBytes = e.HeapBytes
 	r.pauseP99 = e.GCPauseSec
+	r.rssBytes = e.RSSBytes
+	r.fds = e.FDs
+	r.procOK = e.RSSBytes > 0 || e.FDs > 0
 	if !r.sampled {
 		r.heapBase = e.HeapBytes
 	}
 	r.sampled = true
+	r.setGauges()
+}
+
+func (r *runtimeMon) setGauges() {
 	r.gGoroutines.Set(float64(r.goroutines))
 	r.gHeap.Set(float64(r.heapBytes))
 	r.gPause.Set(r.pauseP99)
+	if r.procOK {
+		r.gRSS.Set(float64(r.rssBytes))
+		r.gFDs.Set(float64(r.fds))
+	}
 }
 
 // sample reads the runtime, throttled to the configured interval.
@@ -124,16 +163,17 @@ func (r *runtimeMon) sample() {
 			}
 		}
 	}
+	r.rssBytes, r.fds, r.procOK = r.procRead()
 	r.sampled = true
-	r.gGoroutines.Set(float64(r.goroutines))
-	r.gHeap.Set(float64(r.heapBytes))
-	r.gPause.Set(r.pauseP99)
+	r.setGauges()
 	if r.emit {
 		r.journal.Emit(obs.Event{
 			Type:       obs.EventRuntimeSample,
 			Goroutines: r.goroutines,
 			HeapBytes:  r.heapBytes,
 			GCPauseSec: r.pauseP99,
+			RSSBytes:   r.rssBytes,
+			FDs:        r.fds,
 		})
 	}
 }
@@ -168,6 +208,38 @@ func (r *runtimeMon) check(out []finding) []finding {
 			Value: r.pauseP99, Threshold: r.gcPauseP99.Seconds(),
 		})
 	}
+	if r.procOK {
+		if r.rssCrit > 0 && r.rssBytes > r.rssCrit {
+			out = append(out, finding{
+				Monitor: r.name(), Key: "rss", Severity: SevCritical,
+				Message: fmt.Sprintf("resident set %.0f MiB exceeds critical %.0f MiB — the OS may OOM-kill the search",
+					float64(r.rssBytes)/(1<<20), float64(r.rssCrit)/(1<<20)),
+				Value: float64(r.rssBytes), Threshold: float64(r.rssCrit),
+			})
+		} else if r.rssWarn > 0 && r.rssBytes > r.rssWarn {
+			out = append(out, finding{
+				Monitor: r.name(), Key: "rss", Severity: SevWarning,
+				Message: fmt.Sprintf("resident set %.0f MiB exceeds %.0f MiB — growth the Go heap gauges can't see points at mmap/cgo or kernel-side leaks",
+					float64(r.rssBytes)/(1<<20), float64(r.rssWarn)/(1<<20)),
+				Value: float64(r.rssBytes), Threshold: float64(r.rssWarn),
+			})
+		}
+		if r.fdCrit > 0 && r.fds > r.fdCrit {
+			out = append(out, finding{
+				Monitor: r.name(), Key: "fds", Severity: SevCritical,
+				Message: fmt.Sprintf("%d open file descriptors exceed critical %d — near the ulimit the journal and alert sinks start failing",
+					r.fds, r.fdCrit),
+				Value: float64(r.fds), Threshold: float64(r.fdCrit),
+			})
+		} else if r.fdWarn > 0 && r.fds > r.fdWarn {
+			out = append(out, finding{
+				Monitor: r.name(), Key: "fds", Severity: SevWarning,
+				Message: fmt.Sprintf("%d open file descriptors exceed %d — a descriptor leak (unclosed journals, sockets, alert commands)",
+					r.fds, r.fdWarn),
+				Value: float64(r.fds), Threshold: float64(r.fdWarn),
+			})
+		}
+	}
 	return out
 }
 
@@ -175,9 +247,13 @@ func (r *runtimeMon) detail() string {
 	if !r.sampled {
 		return "not sampled yet"
 	}
-	return fmt.Sprintf("%d goroutines; heap %.1f MiB (×%.2f of first sample); GC pause p99 %.2fms",
+	s := fmt.Sprintf("%d goroutines; heap %.1f MiB (×%.2f of first sample); GC pause p99 %.2fms",
 		r.goroutines, float64(r.heapBytes)/(1<<20),
 		float64(r.heapBytes)/float64(max(r.heapBase, 1)), 1e3*r.pauseP99)
+	if r.procOK {
+		s += fmt.Sprintf("; RSS %.1f MiB; %d fds", float64(r.rssBytes)/(1<<20), r.fds)
+	}
+	return s
 }
 
 // histQuantile returns the value at quantile q of a runtime/metrics

@@ -109,10 +109,14 @@ type Event struct {
 	Reason string `json:"reason,omitempty"`
 	Path   string `json:"path,omitempty"`
 
-	// Runtime-sample events.
+	// Runtime-sample events. RSSBytes and FDs are OS-level readings
+	// (resident set size and open file descriptors); zero when the
+	// platform offers no /proc-style view of the process.
 	Goroutines int     `json:"goroutines,omitempty"`
 	HeapBytes  uint64  `json:"heap_bytes,omitempty"`
 	GCPauseSec float64 `json:"gc_pause_s,omitempty"`
+	RSSBytes   uint64  `json:"rss_bytes,omitempty"`
+	FDs        int     `json:"fds,omitempty"`
 }
 
 // DefaultJournalCapacity bounds the in-memory replay ring. At the

@@ -169,6 +169,62 @@ func TestMatMulTransBIntoMatchesNaive(t *testing.T) {
 	}
 }
 
+// forcePacked routes every product through the packed BLIS-style path
+// for the duration of the test, regardless of size.
+func forcePacked(t *testing.T) {
+	t.Helper()
+	old := packedMinOps
+	packedMinOps = 1
+	t.Cleanup(func() { packedMinOps = old })
+}
+
+// TestPackedMatchesNaive re-runs the equivalence matrix with the packed
+// path forced for every size, for all three variants. The packed kernels
+// keep the naive accumulation order per element, so all three — including
+// A·Bᵀ, whose classic fallback only matches to 1e-12 — must be bitwise.
+func TestPackedMatchesNaive(t *testing.T) {
+	forcePacked(t)
+	sizes := append(append([]struct{ m, k, n int }{}, gemmSizes...), struct{ m, k, n int }{6, 1500, 11})
+	for _, sz := range sizes {
+		rng := rand.New(rand.NewSource(13))
+		a := Randn(rng, 0, 1, sz.m, sz.k)
+		b := Randn(rng, 0, 1, sz.k, sz.n)
+		at := New(sz.k, sz.m)
+		bt := New(sz.n, sz.k)
+		for i := 0; i < sz.m; i++ {
+			for p := 0; p < sz.k; p++ {
+				at.data[p*sz.m+i] = a.data[i*sz.k+p]
+			}
+		}
+		for p := 0; p < sz.k; p++ {
+			for j := 0; j < sz.n; j++ {
+				bt.data[j*sz.k+p] = b.data[p*sz.n+j]
+			}
+		}
+		want := matMulRef(a, b)
+		for _, workers := range []int{1, 8} {
+			old := SetMaxWorkers(workers)
+			for _, v := range []struct {
+				name string
+				run  func(dst *Tensor) error
+			}{
+				{"MatMulInto", func(dst *Tensor) error { return MatMulInto(a, b, dst) }},
+				{"MatMulTransAInto", func(dst *Tensor) error { return MatMulTransAInto(at, b, dst) }},
+				{"MatMulTransBInto", func(dst *Tensor) error { return MatMulTransBInto(a, bt, dst) }},
+			} {
+				dst := New(sz.m, sz.n)
+				fillNaN(dst)
+				if err := v.run(dst); err != nil {
+					SetMaxWorkers(old)
+					t.Fatal(err)
+				}
+				requireBitEqual(t, dst, want, fmt.Sprintf("packed %s %dx%dx%d workers=%d", v.name, sz.m, sz.k, sz.n, workers))
+			}
+			SetMaxWorkers(old)
+		}
+	}
+}
+
 // TestMatMulIntoWorkerInvariance pins the bitwise-reproducibility claim
 // directly: the same product under 1 and 8 workers is identical.
 func TestMatMulIntoWorkerInvariance(t *testing.T) {

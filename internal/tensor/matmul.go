@@ -29,7 +29,10 @@ const (
 // MatMulInto computes dst = a·b for rank-2 tensors with a (m×k), b (k×n),
 // dst (m×n), overwriting dst, with cache-blocked, register-tiled inner
 // loops. dst must not alias a or b. Per-element accumulation order matches
-// the naive i-p-j loop, so results are bitwise identical to the reference.
+// the naive i-p-j loop, so results are bitwise identical to the reference
+// under any worker count. Products above packedMinOps flops dispatch to
+// the BLIS-style packed path (pack.go); smaller ones keep the classic
+// blocked kernels below.
 func MatMulInto(a, b, dst *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("tensor: MatMulInto requires rank-2 tensors, got %v, %v, %v", a.shape, b.shape, dst.shape)
@@ -44,6 +47,11 @@ func MatMulInto(a, b, dst *Tensor) error {
 	}
 	dst.Zero()
 	countMatMul(m, n, k)
+	if usePacked(m, k, n) {
+		countMatMulPacked()
+		packedGemm(a.data, b.data, dst.data, m, k, n, false, false)
+		return nil
+	}
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmPanel(a.data, b.data, dst.data, k, n, i0, i1, j0, j1)
 	})
@@ -52,7 +60,8 @@ func MatMulInto(a, b, dst *Tensor) error {
 
 // MatMulTransAInto computes dst = aᵀ·b with a (k×m), b (k×n), dst (m×n),
 // overwriting dst, without materialising the transpose. dst must not alias
-// a or b.
+// a or b. Results are bitwise identical to the naive reference; large
+// products take the packed path like MatMulInto.
 func MatMulTransAInto(a, b, dst *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("tensor: MatMulTransAInto requires rank-2 tensors, got %v, %v, %v", a.shape, b.shape, dst.shape)
@@ -67,6 +76,11 @@ func MatMulTransAInto(a, b, dst *Tensor) error {
 	}
 	dst.Zero()
 	countMatMul(m, n, k)
+	if usePacked(m, k, n) {
+		countMatMulPacked()
+		packedGemm(a.data, b.data, dst.data, m, k, n, true, false)
+		return nil
+	}
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmTransAPanel(a.data, b.data, dst.data, k, m, n, i0, i1, j0, j1)
 	})
@@ -75,9 +89,12 @@ func MatMulTransAInto(a, b, dst *Tensor) error {
 
 // MatMulTransBInto computes dst = a·bᵀ with a (m×k), b (n×k), dst (m×n),
 // overwriting dst, without materialising the transpose. dst must not alias
-// a or b. The k dimension is blocked, so accumulation order differs from
-// the naive single-accumulator dot product by at most the usual float64
-// re-association error (≪ 1e-12 relative).
+// a or b. Large products take the packed path, which keeps the naive
+// per-element accumulation order and is therefore bitwise identical to
+// the reference; the small-matrix fallback blocks the k dimension, where
+// accumulation order differs from the naive single-accumulator dot
+// product by at most the usual float64 re-association error (≪ 1e-12
+// relative).
 func MatMulTransBInto(a, b, dst *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("tensor: MatMulTransBInto requires rank-2 tensors, got %v, %v, %v", a.shape, b.shape, dst.shape)
@@ -92,6 +109,11 @@ func MatMulTransBInto(a, b, dst *Tensor) error {
 	}
 	dst.Zero()
 	countMatMul(m, n, k)
+	if usePacked(m, k, n) {
+		countMatMulPacked()
+		packedGemm(a.data, b.data, dst.data, m, k, n, false, true)
+		return nil
+	}
 	gemmParallel(m, n, func(i0, i1, j0, j1 int) {
 		gemmTransBPanel(a.data, b.data, dst.data, k, n, i0, i1, j0, j1)
 	})

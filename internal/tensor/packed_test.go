@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// packedShapes sweeps the dimensions that break tiled kernels: degenerate
+// products (a dimension of 1), primes that never divide the tile sizes,
+// and sizes that straddle each blocking boundary — the packMR/packNR
+// micro-tile, the packMC/packKC/packNC cache blocks, and the point where
+// parallelAligned starts splitting slabs across workers.
+var packedShapes = []struct{ m, k, n int }{
+	// Degenerate: one dimension collapses to a single row/column/term.
+	{1, 1, 1},
+	{1, 300, 5},
+	{1, 7, 1024},
+	{33, 1, 300},
+	{130, 257, 1},
+	{1, 1, 9},
+	// Primes: nothing divides the micro-tile or the blocks.
+	{3, 5, 7},
+	{31, 37, 41},
+	{127, 13, 31},
+	// Straddle the packMR=2 row pairing and packNR=4 column strips.
+	{5, 20, 3},
+	{6, 20, 4},
+	{7, 20, 5},
+	// Straddle packMC (A block rows).
+	{packMC - 1, 64, 9},
+	{packMC, 64, 9},
+	{packMC + 1, 64, 9},
+	// Straddle packKC (k block).
+	{8, packKC - 1, 12},
+	{8, packKC, 12},
+	{8, packKC + 1, 12},
+	// Straddle packNC (B panel columns).
+	{3, 9, packNC - 1},
+	{3, 9, packNC + 1},
+	// Straddle the row-slab split at workers=8 (m around packMR·workers,
+	// where packedGemm switches between row and column slabs).
+	{2*8 - 1, 32, 40},
+	{2 * 8, 32, 40},
+	{2*8 + 1, 32, 40},
+	// A mid-size shape whose slabs, blocks and edges all interact.
+	{130, 257, 63},
+}
+
+// TestPackedAdversarialShapes is the property-style sweep from the issue:
+// every shape, every variant, workers ∈ {1, 2, max}, packed forced on,
+// compared bitwise against the naive reference.
+func TestPackedAdversarialShapes(t *testing.T) {
+	forcePacked(t)
+	maxW := 8 // exceeds GOMAXPROCS on small runners; forces real slab splits
+	for _, sz := range packedShapes {
+		rng := rand.New(rand.NewSource(int64(sz.m*1000003 + sz.k*1009 + sz.n)))
+		a := Randn(rng, 0, 1, sz.m, sz.k)
+		b := Randn(rng, 0, 1, sz.k, sz.n)
+		at := New(sz.k, sz.m)
+		bt := New(sz.n, sz.k)
+		for i := 0; i < sz.m; i++ {
+			for p := 0; p < sz.k; p++ {
+				at.data[p*sz.m+i] = a.data[i*sz.k+p]
+			}
+		}
+		for p := 0; p < sz.k; p++ {
+			for j := 0; j < sz.n; j++ {
+				bt.data[j*sz.k+p] = b.data[p*sz.n+j]
+			}
+		}
+		want := matMulRef(a, b)
+		for _, workers := range []int{1, 2, maxW} {
+			old := SetMaxWorkers(workers)
+			for _, v := range []struct {
+				name string
+				run  func(dst *Tensor) error
+			}{
+				{"MatMulInto", func(dst *Tensor) error { return MatMulInto(a, b, dst) }},
+				{"MatMulTransAInto", func(dst *Tensor) error { return MatMulTransAInto(at, b, dst) }},
+				{"MatMulTransBInto", func(dst *Tensor) error { return MatMulTransBInto(a, bt, dst) }},
+			} {
+				dst := New(sz.m, sz.n)
+				fillNaN(dst)
+				if err := v.run(dst); err != nil {
+					SetMaxWorkers(old)
+					t.Fatal(err)
+				}
+				requireBitEqual(t, dst, want,
+					fmt.Sprintf("%s %dx%dx%d workers=%d", v.name, sz.m, sz.k, sz.n, workers))
+			}
+			SetMaxWorkers(old)
+		}
+	}
+}
+
+// TestPackedThresholdDispatch pins the packed/fallback boundary: products
+// below packedMinOps flops keep the classic kernels, at or above take the
+// packed path, and the kernel counters record the split.
+func TestPackedThresholdDispatch(t *testing.T) {
+	old := packedMinOps
+	packedMinOps = 2 * 8 * 8 * 8
+	t.Cleanup(func() { packedMinOps = old })
+
+	EnableKernelCounters(true)
+	t.Cleanup(func() { EnableKernelCounters(false) })
+	ResetKernelCounters()
+
+	rng := rand.New(rand.NewSource(21))
+	small := Randn(rng, 0, 1, 7, 8)  // 2·7·8·8 < threshold → fallback
+	sright := Randn(rng, 0, 1, 8, 8) // exactly at threshold → packed
+	big := Randn(rng, 0, 1, 8, 8)    // 2·8·8·8 ≥ threshold → packed
+	dstS := New(7, 8)
+	dstB := New(8, 8)
+	if err := MatMulInto(small, sright, dstS); err != nil {
+		t.Fatal(err)
+	}
+	if err := MatMulInto(big, sright, dstB); err != nil {
+		t.Fatal(err)
+	}
+	calls, _ := KernelCounters()
+	if calls != 2 {
+		t.Fatalf("KernelCounters calls = %d, want 2", calls)
+	}
+	if got := PackedKernelCalls(); got != 1 {
+		t.Fatalf("PackedKernelCalls = %d, want 1 (only the 8x8x8 product)", got)
+	}
+	if !usePacked(8, 8, 8) || usePacked(7, 8, 8) {
+		t.Fatalf("usePacked boundary wrong: usePacked(8,8,8)=%v usePacked(7,8,8)=%v",
+			usePacked(8, 8, 8), usePacked(7, 8, 8))
+	}
+	if usePacked(0, 8, 8) || usePacked(8, -1, 8) {
+		t.Fatal("usePacked accepted a degenerate dimension")
+	}
+}

@@ -67,6 +67,45 @@ func parallelFor(n int, body func(lo, hi int)) {
 // remaining chunks also run inline, which keeps nested or heavily
 // concurrent callers deadlock-free. Bodies must not themselves depend on
 // running in a particular goroutine.
+// parallelAligned splits [0, n) across the worker pool in chunks
+// rounded up to a multiple of align, so tiled kernels see whole tiles
+// everywhere except the final chunk. Used by the packed GEMM, whose
+// slab boundaries would otherwise force edge micro-kernels mid-matrix.
+func parallelAligned(n, align int, body func(lo, hi int)) {
+	workers := maxWorkers
+	if workers > n/align {
+		workers = n / align
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	ensurePool()
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		task := func(lo, hi int) func() {
+			return func() {
+				defer wg.Done()
+				body(lo, hi)
+			}
+		}(lo, hi)
+		select {
+		case poolTasks <- task:
+		default:
+			task()
+		}
+	}
+	body(0, chunk)
+	wg.Wait()
+}
+
 func parallelRange(n, minPar int, body func(lo, hi int)) {
 	if n <= 0 {
 		return

@@ -267,6 +267,15 @@ function handle(type, e) {
   }
 }
 const alerts = new Map();
+// Backfill the alert strip before the SSE stream connects: alerts that
+// fired before this page load are only in the engine's active set, not
+// in the replayed tail, so a reload would otherwise show a blank strip
+// until the next transition. 404 (health disabled) just leaves it empty.
+fetch("/api/alerts").then(r => r.ok ? r.json() : null).then(d => {
+  if (!d || !d.active) return;
+  d.active.forEach(a => handle("alert", {alert: a.id, severity: a.severity,
+    monitor: a.monitor, msg: a.msg, count: a.count}));
+}).catch(() => {});
 const types = ["run_start","run_end","generation_start","generation_end","task_dispatch",
   "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
   "predict_terminate","pareto_update","alert","alert_resolved",

@@ -180,6 +180,16 @@ func TestDashboardServed(t *testing.T) {
 			t.Fatalf("dashboard missing %q", want)
 		}
 	}
+	// The alert strip backfills from /api/alerts before the stream
+	// connects, so a reload shows alerts that fired before page load.
+	for _, want := range []string{`fetch("/api/alerts")`, "d.active.forEach"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing alert backfill fragment %q", want)
+		}
+	}
+	if strings.Index(body, `fetch("/api/alerts")`) > strings.Index(body, "new EventSource") {
+		t.Fatal("alert backfill must be wired before the EventSource connects")
+	}
 }
 
 func TestNoEventsEndpointWithoutObserver(t *testing.T) {

@@ -89,3 +89,37 @@ if [ "$chaosallocs" -gt 0 ]; then
     exit 1
 fi
 echo "benchgate: ok — disarmed chaos point $chaosallocs allocs/op"
+
+# The GEMM throughput floor: BenchmarkMatMul/1024 must hold at least
+# half the committed current GFLOP/s from BENCH_tensor.json. Half, not
+# unity, because shared-runner throughput swings ±30% run to run and
+# core counts differ across machines — a real regression (losing the
+# packed path, a serialized kernel, a tiling bug) costs far more than
+# 2×. Re-baseline with 'make bench-json' after intentional changes.
+committed=$(awk '/"current"/ { c = 1 }
+c && /BenchmarkMatMul\/1024/ {
+    if (match($0, /"GFLOP\/s": *[0-9.]+/)) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/.*: */, "", s)
+        print s
+        exit
+    }
+}' BENCH_tensor.json)
+if [ -z "$committed" ]; then
+    echo "benchgate: no current BenchmarkMatMul/1024 GFLOP/s in BENCH_tensor.json" >&2
+    exit 1
+fi
+tout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkMatMul/1024$' ./internal/tensor)
+echo "$tout"
+gflops=$(echo "$tout" | awk '/^BenchmarkMatMul\/1024(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "GFLOP/s") print $i
+}' | head -n 1)
+if [ -z "$gflops" ]; then
+    echo "benchgate: BenchmarkMatMul/1024 reported no GFLOP/s" >&2
+    exit 1
+fi
+if [ "$(awk -v g="$gflops" -v c="$committed" 'BEGIN { print (g + g >= c) ? "ok" : "low" }')" != "ok" ]; then
+    echo "benchgate: FAIL — BenchmarkMatMul/1024 at $gflops GFLOP/s, floor is $committed/2" >&2
+    exit 1
+fi
+echo "benchgate: ok — BenchmarkMatMul/1024 $gflops GFLOP/s against committed $committed (floor: half)"
