@@ -1,17 +1,20 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-broker race-health bench bench-smoke bench-gate bench-json chaos-soak clean
+.PHONY: ci lint vet build test race race-broker race-health race-sched bench bench-smoke bench-gate bench-json chaos-soak service-e2e clean
 
 # ci is the gate for every change: formatting and static analysis, a
 # full build, the test suite under the race detector (plus a dedicated
 # high-iteration pass over the event broker, the one component built
-# for hundreds of concurrent subscribers, and a stress pass over the
-# health monitors and alert manager against a fault-injected search), a
-# one-iteration benchmark smoke run so the hot-path benchmarks cannot
-# silently rot, the allocation-regression gates on the training and
-# observability hot paths, and the crash-recovery soak that kills the
-# real CLI at seeded crash points and resumes it to completion.
-ci: lint build race race-broker race-health bench-smoke bench-gate chaos-soak
+# for hundreds of concurrent subscribers, a stress pass over the
+# health monitors and alert manager against a fault-injected search,
+# and a stress pass over the fair-share fleet scheduler and job
+# manager), a one-iteration benchmark smoke run so the hot-path
+# benchmarks cannot silently rot, the allocation-regression gates on
+# the training and observability hot paths, the crash-recovery soak
+# that kills the real CLI at seeded crash points and resumes it to
+# completion, and the service e2e that kills a live multi-job
+# a4nn-serve and resumes every submission.
+ci: lint build race race-broker race-health race-sched bench-smoke bench-gate chaos-soak service-e2e
 
 # lint fails on unformatted files (gofmt -l) and vet findings.
 lint: vet
@@ -29,8 +32,10 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomises test order so accidental inter-test state
+# dependencies surface in ci rather than on a laptop.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # race-broker stresses the event fanout specifically: repeated runs of
 # the broker tests under the race detector, since its eviction path
@@ -44,6 +49,15 @@ race-broker:
 race-health:
 	$(GO) test -race -count 3 ./internal/health
 	$(GO) test -race -run TestHealthMonitorEndToEnd -count 3 .
+
+# race-sched stresses the multi-tenant scheduling layer: high-count
+# runs of the fair-share fleet arbiter (whose grant path only races
+# under unlucky acquire/release/unregister interleavings) and the job
+# manager driving many concurrent gated searches, mirroring
+# race-broker/race-health.
+race-sched:
+	$(GO) test -race -run Fleet -count 5 ./internal/sched
+	$(GO) test -race -count 3 ./internal/jobs
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -65,6 +79,13 @@ bench-gate:
 # completes, and require the same Pareto front as a fault-free run.
 chaos-soak:
 	GO="$(GO)" sh scripts/chaossoak.sh
+
+# service-e2e boots a real a4nn-serve -jobs over HTTP, submits two
+# concurrent searches, SIGKILLs the process mid-run, restarts it with
+# -resume, and requires both jobs to complete with monotone journals
+# and records identical to same-seed solo runs.
+service-e2e:
+	$(GO) test -run TestServiceKillResumeE2E -count 1 .
 
 # bench-json re-measures the training hot-path benchmarks and writes
 # BENCH_tensor.json with the committed pre-optimisation baseline

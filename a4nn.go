@@ -33,6 +33,7 @@ import (
 	"a4nn/internal/dataset"
 	"a4nn/internal/genome"
 	"a4nn/internal/health"
+	"a4nn/internal/jobs"
 	"a4nn/internal/nn"
 	"a4nn/internal/nsga"
 	"a4nn/internal/obs"
@@ -244,6 +245,62 @@ func ReadAlerts(path string) ([]Alert, error) { return health.ReadAlerts(path) }
 // ParseFaultPlan parses the compact CLI fault specification, e.g.
 // "transient=0.05;crash=1@2;slowdown=0.1;seed=7".
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return sched.ParseFaultPlan(spec) }
+
+// Multi-tenant job service (many concurrent searches over one shared
+// device fleet with weighted fair-share scheduling; see internal/jobs
+// and webui.Server.SetJobs for the HTTP surface).
+type (
+	// JobManager queues and runs submitted searches, each in its own
+	// isolated commons directory (records, journal, alerts, checkpoints),
+	// arbitrated per generation by a shared Fleet.
+	JobManager = jobs.Manager
+	// JobOptions configures a JobManager: the jobs root directory and
+	// the shared fleet's slot count.
+	JobOptions = jobs.Options
+	// JobConfig is one search submission (the POST /api/jobs body).
+	JobConfig = jobs.Config
+	// JobStatus is a job's externally visible state and live progress.
+	JobStatus = jobs.Status
+	// JobState is a job's lifecycle position:
+	// queued → running ⇄ paused → completed | failed | canceled.
+	JobState = jobs.State
+	// JobManifest is the durable per-job record (job.json) a killed
+	// service leaves behind for Recover.
+	JobManifest = jobs.Manifest
+	// Fleet arbitrates device slots across jobs with weighted
+	// fair-share (stride) scheduling; preemption happens at generation
+	// boundaries via Config.Gate.
+	Fleet = sched.Fleet
+	// FleetStatus is a point-in-time snapshot of the arbiter.
+	FleetStatus = sched.FleetStatus
+	// GenerationGate admits each generation before dispatch — the hook a
+	// multi-job scheduler uses to share one fleet across searches.
+	GenerationGate = core.GenerationGate
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobPaused    = jobs.StatePaused
+	JobCompleted = jobs.StateCompleted
+	JobFailed    = jobs.StateFailed
+	JobCanceled  = jobs.StateCanceled
+)
+
+// NewJobManager builds the job service rooted at opts.Root.
+func NewJobManager(opts JobOptions) (*JobManager, error) { return jobs.NewManager(opts) }
+
+// NewFleet builds a shared device arbiter with the given slot capacity.
+func NewFleet(capacity int) (*Fleet, error) { return sched.NewFleet(capacity) }
+
+// ReadJobManifests scans a jobs root for per-job manifests.
+func ReadJobManifests(root string) ([]JobManifest, error) { return jobs.ReadManifests(root) }
+
+// BuildJobSearchConfig assembles the core Config a job submission runs
+// — identical to the same-flag cmd/a4nn invocation, which is what makes
+// service results byte-comparable to solo runs.
+func BuildJobSearchConfig(jc JobConfig) (Config, error) { return jobs.BuildSearchConfig(jc) }
 
 // Crash-consistency types (model-level checkpointing, corruption
 // recovery, and process-level fault injection; see internal/chaos and

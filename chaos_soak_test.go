@@ -62,7 +62,7 @@ func TestChaosSoak(t *testing.T) {
 	bins := buildTools(t, "a4nn")
 
 	// Fault-free reference: same seed, same search, no chaos.
-	refStore := filepath.Join(t.TempDir(), "ref")
+	refStore := filepath.Join(scratchDir(t, "ref"), "ref")
 	refOut := run(t, bins["a4nn"],
 		append(append([]string{}, soakSearchArgs...), "-store", refStore, "-checkpoints", "-events")...)
 	refFront := paretoSection(t, refOut)
@@ -114,7 +114,7 @@ func TestChaosSoak(t *testing.T) {
 // checks the crash-consistency contract. Returns the crash count.
 func soakOnePlan(t *testing.T, bin, plan string, rearm bool, refFront string) int {
 	t.Helper()
-	store := filepath.Join(t.TempDir(), "runs")
+	store := filepath.Join(scratchDir(t, "plan"), "runs")
 	base := append(append([]string{}, soakSearchArgs...), "-store", store, "-checkpoints", "-events")
 
 	crashes := 0

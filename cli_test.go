@@ -31,6 +31,34 @@ func buildTools(t *testing.T, names ...string) map[string]string {
 	return bins
 }
 
+// scratchDir returns a fresh directory for a test's store scratch.
+// Under CI, A4NN_CI_SCRATCH names a persistent root that gets uploaded
+// as a failure artifact (the soak and service-e2e stores hold the
+// events.jsonl / alerts.jsonl needed to debug a red run); passing
+// tests remove their scratch so only failures leave anything behind.
+// Without the variable it is a plain test temp dir.
+func scratchDir(t *testing.T, name string) string {
+	t.Helper()
+	root := os.Getenv("A4NN_CI_SCRATCH")
+	if root == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	prefix := strings.ReplaceAll(t.Name(), "/", "_") + "-" + name + "-"
+	dir, err := os.MkdirTemp(root, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			os.RemoveAll(dir)
+		}
+	})
+	return dir
+}
+
 func run(t *testing.T, bin string, args ...string) string {
 	t.Helper()
 	cmd := exec.Command(bin, args...)

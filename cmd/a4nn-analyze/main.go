@@ -18,6 +18,7 @@
 //	a4nn-analyze -store DIR profile           # per-layer time and FLOP breakdown
 //	a4nn-analyze -store DIR health            # alert history from the health monitor
 //	a4nn-analyze -store DIR recovery          # crash-recovery history (resumes, quarantines)
+//	a4nn-analyze -store DIR jobs              # job-service manifests under DIR/jobs
 package main
 
 import (
@@ -26,12 +27,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"a4nn/internal/analyzer"
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
 	"a4nn/internal/health"
+	"a4nn/internal/jobs"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
 )
@@ -171,6 +174,35 @@ func main() {
 		if ids, err := store.Checkpoints(); err == nil && len(ids) > 0 {
 			fmt.Printf("pending checkpoints: %d (resume with cmd/a4nn -resume -checkpoints)\n", len(ids))
 		}
+	case "jobs":
+		// The job service keeps one manifest per submission under
+		// <store>/jobs; this is the offline view of the fleet.
+		manifests, err := jobs.ReadManifests(filepath.Join(*storeDir, "jobs"))
+		if err != nil {
+			fatal(err)
+		}
+		if len(manifests) == 0 {
+			fmt.Println("no jobs recorded (submit with a4nn-serve -jobs)")
+			return
+		}
+		var rows [][]string
+		for _, m := range manifests {
+			shape := fmt.Sprintf("%d+%d×%d", m.Config.Population, m.Config.Offspring, m.Config.Generations)
+			dur := "–"
+			if !m.Finished.IsZero() && !m.Created.IsZero() {
+				dur = m.Finished.Sub(m.Created).Round(time.Second).String()
+			}
+			note := m.Error
+			if note == "" && m.Resumes > 0 {
+				note = fmt.Sprintf("resumed ×%d", m.Resumes)
+			}
+			rows = append(rows, []string{
+				m.Config.ID, string(m.State), m.Config.Beam, shape,
+				fmt.Sprint(m.Config.Seed), fmt.Sprint(m.Config.Priority), dur, note,
+			})
+		}
+		fmt.Print(analyzer.FormatTable(
+			[]string{"job", "state", "beam", "shape", "seed", "prio", "duration", "note"}, rows))
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

@@ -10,6 +10,16 @@
 //	a4nn-serve -store ./runs -follow -health  # + /healthz and /api/alerts
 //	curl localhost:8080/api/summary
 //	curl localhost:8080/api/records/<id>/dot | dot -Tsvg > model.svg
+//
+// With -jobs the server becomes a multi-tenant search service: POST
+// /api/jobs submits searches that run in this process, queued over a
+// shared device fleet (-fleet slots) with weighted fair-share
+// scheduling, each in its own commons directory under <store>/jobs.
+// -resume continues every search a killed service left unfinished:
+//
+//	a4nn-serve -store ./runs -jobs -fleet 4 -resume
+//	curl -X POST localhost:8080/api/jobs -d '{"seed":42,"priority":20}'
+//	open http://localhost:8080/fleet
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 
 	"a4nn/internal/commons"
 	"a4nn/internal/health"
+	"a4nn/internal/jobs"
 	"a4nn/internal/obs"
 	"a4nn/internal/webui"
 )
@@ -38,6 +49,9 @@ func main() {
 		follow    = flag.Bool("follow", false, "tail the store's events.jsonl and stream it live on /events and /dashboard")
 		healthOn  = flag.Bool("health", false, "run the in-situ health monitor over the followed event stream and serve /healthz and /api/alerts (requires -follow)")
 		healthCfg = flag.String("health-config", "", `health thresholds (requires -health), e.g. "divergence-window=5;min-capacity=0.6"`)
+		jobsOn    = flag.Bool("jobs", false, "accept search submissions on POST /api/jobs and run them in-process over a shared device fleet")
+		fleetN    = flag.Int("fleet", 4, "device slots in the shared fleet (requires -jobs)")
+		resumeOn  = flag.Bool("resume", false, "resume every non-terminal job found under <store>/jobs (requires -jobs)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -49,6 +63,9 @@ func main() {
 	}
 	if *healthCfg != "" && !*healthOn {
 		fatal(errors.New("-health-config needs -health"))
+	}
+	if !*jobsOn && *resumeOn {
+		fatal(errors.New("-resume needs -jobs (it recovers interrupted job submissions)"))
 	}
 	store, err := commons.Open(*storeDir)
 	if err != nil {
@@ -67,6 +84,29 @@ func main() {
 	// SIGINT/SIGTERM drain in-flight requests before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var manager *jobs.Manager
+	if *jobsOn {
+		manager, err = jobs.NewManager(jobs.Options{
+			Root:       filepath.Join(*storeDir, "jobs"),
+			FleetSlots: *fleetN,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *resumeOn {
+			recovered, err := manager.Recover()
+			if err != nil {
+				fatal(err)
+			}
+			for _, id := range recovered {
+				fmt.Printf("resumed job %s\n", id)
+			}
+		}
+		srv.SetJobs(manager)
+		fmt.Printf("job service on — %d fleet slots, submit with POST http://%s/api/jobs, fleet view on http://%s/fleet\n",
+			*fleetN, ln.Addr(), ln.Addr())
+	}
 
 	if *follow {
 		// Follow mode tails the journal a concurrently running `a4nn
@@ -108,6 +148,16 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			fatal(err)
+		}
+		if manager != nil {
+			// Interrupt running searches without writing terminal states:
+			// their manifests stay non-terminal, so a restart with
+			// -jobs -resume continues each one from its checkpoints.
+			dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer dcancel()
+			if err := manager.Close(dctx); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }

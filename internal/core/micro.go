@@ -53,12 +53,14 @@ type MicroConfig struct {
 	Checkpoints    bool
 	OnModel        func(*ModelResult)
 	ReplayFrom     *commons.Store
-	// Resume / Faults / Retry / TaskTimeoutSeconds / Obs as in Config.
+	// Resume / Faults / Retry / TaskTimeoutSeconds / Obs / Gate as in
+	// Config.
 	Resume             bool
 	Faults             *sched.FaultPlan
 	Retry              sched.RetryPolicy
 	TaskTimeoutSeconds float64
 	Obs                *obs.Observer
+	Gate               GenerationGate
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -155,6 +157,7 @@ func RunMicroCtx(ctx context.Context, cfg MicroConfig) (*Result, error) {
 		retry:       cfg.Retry,
 		taskTimeout: cfg.TaskTimeoutSeconds,
 		observer:    cfg.Obs,
+		gate:        cfg.Gate,
 	})
 	if err != nil {
 		return nil, err

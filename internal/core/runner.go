@@ -41,6 +41,7 @@ type runner struct {
 	replayFrom     storeLike
 	samples        int
 	seed           int64
+	gate           GenerationGate
 
 	pool         *sched.Pool
 	engine       *predict.Engine
@@ -87,7 +88,8 @@ type runnerParams struct {
 	retry       sched.RetryPolicy
 	taskTimeout float64 // per-attempt simulated deadline (0 = none)
 
-	observer *obs.Observer // nil disables metrics and span tracing
+	observer *obs.Observer  // nil disables metrics and span tracing
+	gate     GenerationGate // nil dispatches generations unconditionally
 }
 
 // newRunner validates the shared knobs and assembles the runner.
@@ -123,6 +125,7 @@ func newRunner(p runnerParams) (*runner, error) {
 		replayFrom:     p.replay,
 		samples:        p.samples,
 		seed:           p.seed,
+		gate:           p.gate,
 		pool:           pool,
 		res:            &Result{},
 		instruments:    NewInstruments(p.observer),
@@ -322,6 +325,17 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 	r.mu.Lock()
 	replayedBefore := r.res.Replayed
 	r.mu.Unlock()
+	// Under a shared fleet, the gate blocks here until this search wins
+	// its fair-share slots; the release at the generation barrier is the
+	// only preemption point, so the pool's deterministic schedule (and
+	// the search's results) are exactly the ungated ones.
+	if r.gate != nil {
+		release, err := r.gate(ctx, gen, len(infos))
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	if _, err := r.pool.RunGeneration(ctx, tasks); err != nil {
 		return nil, err
 	}

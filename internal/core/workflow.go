@@ -80,7 +80,19 @@ type Config struct {
 	// branch of overhead per event — the training hot path stays
 	// allocation-free.
 	Obs *obs.Observer
+	// Gate, when non-nil, admits each generation before it is dispatched
+	// to the device pool — the hook a multi-job scheduler (sched.Fleet)
+	// uses to arbitrate one shared fleet across concurrent searches. The
+	// returned release runs at the generation barrier, so preemption is
+	// only ever between generations and the search's own pool (and hence
+	// its task→device assignment and results) stays untouched.
+	Gate GenerationGate
 }
+
+// GenerationGate admits one generation of tasks and returns the release
+// to call when the generation's barrier is reached. Returning an error
+// aborts the search (a canceled or evicted job).
+type GenerationGate func(ctx context.Context, gen, tasks int) (release func(), err error)
 
 // DefaultConfig returns the paper's evaluation setup (Tables 1 and 2) for
 // the given trainer: population 10, offspring 10, 10 generations, 25
@@ -279,6 +291,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		retry:       cfg.Retry,
 		taskTimeout: cfg.TaskTimeoutSeconds,
 		observer:    cfg.Obs,
+		gate:        cfg.Gate,
 	})
 	if err != nil {
 		return nil, err

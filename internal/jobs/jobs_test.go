@@ -1,0 +1,492 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"a4nn/internal/commons"
+	"a4nn/internal/core"
+	"a4nn/internal/obs"
+)
+
+// smallJob is a fast search: 6+6×2 = 18 models of ≤10 epochs.
+func smallJob(id string, seed int64) Config {
+	return Config{
+		ID:          id,
+		Beam:        "medium",
+		Devices:     1,
+		Population:  6,
+		Offspring:   6,
+		Generations: 3,
+		Epochs:      10,
+		Seed:        seed,
+	}
+}
+
+func newTestManager(t *testing.T, slots int) *Manager {
+	t.Helper()
+	m, err := NewManager(Options{Root: t.TempDir(), FleetSlots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v (state %s)", id, err, st.State)
+	}
+	return st
+}
+
+func TestManagerSubmitAndComplete(t *testing.T) {
+	m := newTestManager(t, 2)
+	st, err := m.Submit(smallJob("alpha", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("state after submit = %s, want queued", st.State)
+	}
+	if st.Progress.ModelsTotal != 18 || st.Progress.GenerationsTotal != 3 {
+		t.Fatalf("totals = %+v", st.Progress)
+	}
+
+	st = waitTerminal(t, m, "alpha")
+	if st.State != StateCompleted {
+		t.Fatalf("state = %s (%s), want completed", st.State, st.Error)
+	}
+	if st.Progress.ModelsDone != 18 || st.Progress.GenerationsDone != 3 {
+		t.Fatalf("progress = %+v", st.Progress)
+	}
+	if st.Progress.BestFitness <= 0 || st.Progress.EpochsTrained <= 0 {
+		t.Fatalf("counters not populated: %+v", st.Progress)
+	}
+
+	// The job directory is a full isolated commons: manifest, records,
+	// journal, alerts, telemetry.
+	dir, err := m.Dir("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.State != StateCompleted {
+		t.Fatalf("manifest state = %s", man.State)
+	}
+	store, err := commons.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 18 {
+		t.Fatalf("records = %d, want 18", len(ids))
+	}
+	events, err := obs.ReadEvents(filepath.Join(dir, obs.EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no journal events")
+	}
+	for _, name := range []string{"alerts.jsonl", "spans.jsonl", "metrics.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+// canonicalRecords marshals a store's records with wall-clock fields
+// zeroed, for byte-level comparison across runs.
+func canonicalRecords(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	store, err := commons.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(recs))
+	for _, r := range recs {
+		r.CreatedAt = time.Time{}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[r.ID] = string(data)
+	}
+	return out
+}
+
+// TestManagerConcurrentJobsMatchSoloRuns is the service's core
+// contract: two searches sharing one fleet produce records
+// byte-identical (modulo timestamps) to the same-seed solo runs.
+func TestManagerConcurrentJobsMatchSoloRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := newTestManager(t, 2)
+	for _, jc := range []Config{smallJob("a", 42), smallJob("b", 43)} {
+		if _, err := m.Submit(jc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "b"} {
+		if st := waitTerminal(t, m, id); st.State != StateCompleted {
+			t.Fatalf("%s: state = %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	for _, tc := range []struct {
+		id   string
+		seed int64
+	}{{"a", 42}, {"b", 43}} {
+		cfg, err := BuildSearchConfig(smallJob("solo", tc.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloDir := t.TempDir()
+		store, err := commons.Open(soloDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = store
+		cfg.Obs = obs.NewObserver()
+		if _, err := core.RunCtx(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+
+		jobDir, err := m.Dir(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := canonicalRecords(t, jobDir), canonicalRecords(t, soloDir)
+		if len(got) != len(want) {
+			t.Fatalf("job %s: %d records, solo run has %d", tc.id, len(got), len(want))
+		}
+		for id, w := range want {
+			if got[id] != w {
+				t.Errorf("job %s record %s diverges from solo run:\n got %s\nwant %s", tc.id, id, got[id], w)
+			}
+		}
+	}
+}
+
+func TestManagerCancel(t *testing.T) {
+	m := newTestManager(t, 1)
+	jc := smallJob("doomed", 7)
+	jc.Generations = 50 // long enough to cancel mid-flight
+	if _, err := m.Submit(jc); err != nil {
+		t.Fatal(err)
+	}
+	// Let it get going, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Get("doomed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Progress.ModelsDone > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := m.Cancel("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, m, "doomed")
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	dir, _ := m.Dir("doomed")
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.State != StateCanceled {
+		t.Fatalf("manifest state = %s, want canceled", man.State)
+	}
+	if err := m.Cancel("doomed"); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("second cancel: %v, want ErrTerminal", err)
+	}
+}
+
+func TestManagerPauseResume(t *testing.T) {
+	m := newTestManager(t, 1)
+	// Occupy the whole fleet so the submitted job blocks at its gate.
+	if err := m.Fleet().Register("holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	release, err := m.Fleet().Acquire(context.Background(), "holder", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(smallJob("pausey", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pause("pausey"); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	m.Fleet().Unregister("holder")
+
+	// Paused at the gate: no progress even with the fleet free.
+	time.Sleep(100 * time.Millisecond)
+	st, err := m.Get("pausey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePaused || st.Progress.ModelsDone != 0 {
+		t.Fatalf("paused job advanced: %s %+v", st.State, st.Progress)
+	}
+
+	if err := m.ResumeJob("pausey"); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, m, "pausey"); st.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestManagerSubmitErrors(t *testing.T) {
+	m := newTestManager(t, 2)
+	if _, err := m.Submit(smallJob("dup", 1)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { waitTerminal(t, m, "dup") })
+
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"duplicate id", smallJob("dup", 2), "already exists"},
+		{"bad beam", Config{Beam: "blinding"}, "beam"},
+		{"bad id", Config{ID: "../escape"}, "must match"},
+		{"bad priority", Config{Priority: 100}, "priority"},
+		{"too wide", Config{Devices: 3}, "fleet has 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := m.Submit(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+
+	m.Drain()
+	if _, err := m.Submit(smallJob("late", 3)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	if !m.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+}
+
+func TestManagerUnknownJobOps(t *testing.T) {
+	m := newTestManager(t, 1)
+	for name, op := range map[string]func() error{
+		"cancel": func() error { return m.Cancel("ghost") },
+		"pause":  func() error { return m.Pause("ghost") },
+		"resume": func() error { return m.ResumeJob("ghost") },
+		"get":    func() error { _, err := m.Get("ghost"); return err },
+	} {
+		if err := op(); !errors.Is(err, ErrUnknownJob) {
+			t.Fatalf("%s ghost: %v, want ErrUnknownJob", name, err)
+		}
+	}
+}
+
+// TestManagerDrainAndRecover is the restart story: Close mid-search
+// leaves a non-terminal manifest; a fresh manager's Recover resumes the
+// job to completion with the same records a solo run produces.
+func TestManagerDrainAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	root := t.TempDir()
+	m, err := NewManager(Options{Root: root, FleetSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(smallJob("phoenix", 42)); err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt once some work has landed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := m.Get("phoenix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Progress.ModelsDone >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never progressed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := ReadManifest(filepath.Join(root, "phoenix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.State.Terminal() {
+		t.Fatalf("manifest state after drain = %s, want non-terminal", man.State)
+	}
+
+	m2, err := NewManager(Options{Root: root, FleetSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	recovered, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "phoenix" {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	st := waitTerminal(t, m2, "phoenix")
+	if st.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if st.Resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", st.Resumes)
+	}
+
+	// Resumed results match a clean solo run.
+	cfg, err := BuildSearchConfig(smallJob("solo", 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloDir := t.TempDir()
+	store, err := commons.Open(soloDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	cfg.Obs = obs.NewObserver()
+	if _, err := core.RunCtx(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, want := canonicalRecords(t, filepath.Join(root, "phoenix")), canonicalRecords(t, soloDir)
+	if len(got) != len(want) {
+		t.Fatalf("recovered run has %d records, solo %d", len(got), len(want))
+	}
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("record %s diverges after resume", id)
+		}
+	}
+}
+
+func TestManagerListAndSort(t *testing.T) {
+	m := newTestManager(t, 2)
+	for _, id := range []string{"one", "two"} {
+		if _, err := m.Submit(smallJob(id, 11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sts := m.List()
+	if len(sts) != 2 || sts[0].ID != "one" || sts[1].ID != "two" {
+		t.Fatalf("list = %+v", sts)
+	}
+	waitTerminal(t, m, "one")
+	waitTerminal(t, m, "two")
+
+	sts = m.List()
+	SortStatuses(sts)
+	if len(sts) != 2 {
+		t.Fatalf("list = %d entries", len(sts))
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "j1")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	in := Manifest{
+		Config:  smallJob("j1", 9),
+		State:   StateRunning,
+		Created: time.Now().UTC().Truncate(time.Second),
+		Resumes: 2,
+	}
+	if err := writeManifest(jobDir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadManifest(jobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.State != in.State || out.Resumes != 2 || out.Config.ID != "j1" || !out.Created.Equal(in.Created) {
+		t.Fatalf("round trip: %+v", out)
+	}
+
+	// A directory without a manifest is skipped, not an error.
+	if err := os.MkdirAll(filepath.Join(dir, "partial"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadManifests(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Config.ID != "j1" {
+		t.Fatalf("manifests = %+v", all)
+	}
+
+	// A missing root reads as empty.
+	none, err := ReadManifests(filepath.Join(dir, "nope"))
+	if err != nil || none != nil {
+		t.Fatalf("missing root: %v %v", none, err)
+	}
+}
+
+func TestConfigNormalizeValidate(t *testing.T) {
+	var c Config
+	c.Normalize()
+	if c.Beam != "medium" || c.Devices != 1 || c.Population != 10 || c.Offspring != 10 ||
+		c.Generations != 10 || c.Epochs != 25 || c.Seed != 1 || c.Priority != 10 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

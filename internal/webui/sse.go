@@ -3,9 +3,11 @@ package webui
 import (
 	"encoding/json"
 	"fmt"
+	"html/template"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"a4nn/internal/obs"
 )
@@ -104,6 +106,16 @@ func DashboardHandler() http.Handler {
 	})
 }
 
+// dashboardPage rebinds the dashboard to a different SSE stream and
+// alert endpoint — the per-job dashboards point one shared page at
+// /api/jobs/{id}/events and /api/jobs/{id}/alerts.
+func dashboardPage(eventsURL, alertsURL string) string {
+	page := strings.Replace(dashboardHTML, `data-events="/events"`,
+		`data-events="`+template.HTMLEscapeString(eventsURL)+`"`, 1)
+	return strings.Replace(page, `data-alerts="/api/alerts"`,
+		`data-alerts="`+template.HTMLEscapeString(alertsURL)+`"`, 1)
+}
+
 // dashboardHTML is the live dashboard: a single self-contained page
 // driven entirely by the /events SSE stream (no polling, no external
 // assets). It tracks generation progress, per-device utilization,
@@ -111,6 +123,9 @@ func DashboardHandler() http.Handler {
 // scatter, the epochs saved by predictive termination, and — when the
 // health monitor is on — an alert strip fed by the alert events the
 // engine re-emits through the journal.
+// The page reads its event-stream and alert-backfill URLs from the
+// <body> data attributes, so dashboardPage can rebind one instance to a
+// job-namespaced prefix (/api/jobs/{id}/…) without duplicating markup.
 const dashboardHTML = `<!DOCTYPE html>
 <html><head><title>A4NN live dashboard</title>
 <style>
@@ -131,7 +146,7 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
 .alert.info { border-color: #9cf; } .alert.warning { border-color: #ec5; color: #ec5; }
 .alert.critical { border-color: #e66; color: #e66; }
 .alert .cnt { float: right; color: #777; }
-</style></head><body>
+</style></head><body data-events="/events" data-alerts="/api/alerts">
 <h1>A4NN live dashboard <span id="conn" class="bad">connecting…</span></h1>
 <div id="alerts"></div>
 <div class="grid">
@@ -271,7 +286,7 @@ const alerts = new Map();
 // fired before this page load are only in the engine's active set, not
 // in the replayed tail, so a reload would otherwise show a blank strip
 // until the next transition. 404 (health disabled) just leaves it empty.
-fetch("/api/alerts").then(r => r.ok ? r.json() : null).then(d => {
+fetch(document.body.dataset.alerts).then(r => r.ok ? r.json() : null).then(d => {
   if (!d || !d.active) return;
   d.active.forEach(a => handle("alert", {alert: a.id, severity: a.severity,
     monitor: a.monitor, msg: a.msg, count: a.count}));
@@ -280,7 +295,7 @@ const types = ["run_start","run_end","generation_start","generation_end","task_d
   "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
   "predict_terminate","pareto_update","alert","alert_resolved",
   "model_resume","recovery","alert_cmd"];
-const es = new EventSource("/events");
+const es = new EventSource(document.body.dataset.events);
 es.onopen = () => { const c = $("conn"); c.textContent = "live"; c.className = "ok"; };
 es.onerror = () => { const c = $("conn"); c.textContent = "reconnecting…"; c.className = "bad"; };
 types.forEach(t => es.addEventListener(t, ev => handle(t, JSON.parse(ev.data))));

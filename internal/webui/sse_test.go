@@ -182,13 +182,32 @@ func TestDashboardServed(t *testing.T) {
 	}
 	// The alert strip backfills from /api/alerts before the stream
 	// connects, so a reload shows alerts that fired before page load.
-	for _, want := range []string{`fetch("/api/alerts")`, "d.active.forEach"} {
+	// Both URLs come from body data attributes so per-job dashboards can
+	// rebind them.
+	for _, want := range []string{
+		`data-events="/events"`, `data-alerts="/api/alerts"`,
+		`fetch(document.body.dataset.alerts)`, "d.active.forEach",
+	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("dashboard missing alert backfill fragment %q", want)
 		}
 	}
-	if strings.Index(body, `fetch("/api/alerts")`) > strings.Index(body, "new EventSource") {
+	if strings.Index(body, "dataset.alerts") > strings.Index(body, "new EventSource") {
 		t.Fatal("alert backfill must be wired before the EventSource connects")
+	}
+}
+
+func TestDashboardPageRebind(t *testing.T) {
+	page := dashboardPage("/api/jobs/j1/events", "/api/jobs/j1/alerts")
+	for _, want := range []string{`data-events="/api/jobs/j1/events"`, `data-alerts="/api/jobs/j1/alerts"`} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("rebound dashboard missing %q", want)
+		}
+	}
+	for _, stale := range []string{`data-events="/events"`, `data-alerts="/api/alerts"`} {
+		if strings.Contains(page, stale) {
+			t.Fatalf("rebound dashboard still has %q", stale)
+		}
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"a4nn/internal/core"
 	"a4nn/internal/genome"
 	"a4nn/internal/health"
+	"a4nn/internal/jobs"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
 )
@@ -48,6 +49,8 @@ type Server struct {
 	mux      *http.ServeMux
 	obsOn    bool
 	healthOn bool
+	jobsOn   bool
+	jobs     *jobs.Manager
 	cache    *ttlCache
 }
 

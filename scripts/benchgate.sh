@@ -92,10 +92,14 @@ echo "benchgate: ok — disarmed chaos point $chaosallocs allocs/op"
 
 # The GEMM throughput floor: BenchmarkMatMul/1024 must hold at least
 # half the committed current GFLOP/s from BENCH_tensor.json. Half, not
-# unity, because shared-runner throughput swings ±30% run to run and
-# core counts differ across machines — a real regression (losing the
-# packed path, a serialized kernel, a tiling bug) costs far more than
-# 2×. Re-baseline with 'make bench-json' after intentional changes.
+# unity, because shared-runner throughput swings ±30% run to run — a
+# real regression (losing the packed path, a serialized kernel, a
+# tiling bug) costs far more than 2×. The measurement is pinned to
+# GOMAXPROCS=1 so the parallel GEMM's fan-out cannot inflate the number
+# on wide runners: the floor compares single-core throughput against a
+# single-core baseline regardless of the machine's core count (which is
+# recorded below for post-mortems on gate failures). Re-baseline with
+# 'make bench-json' after intentional changes.
 committed=$(awk '/"current"/ { c = 1 }
 c && /BenchmarkMatMul\/1024/ {
     if (match($0, /"GFLOP\/s": *[0-9.]+/)) {
@@ -109,7 +113,9 @@ if [ -z "$committed" ]; then
     echo "benchgate: no current BenchmarkMatMul/1024 GFLOP/s in BENCH_tensor.json" >&2
     exit 1
 fi
-tout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkMatMul/1024$' ./internal/tensor)
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)
+echo "benchgate: runner has $cores core(s) online; GFLOP/s floor measured at GOMAXPROCS=1"
+tout=$(GOMAXPROCS=1 "${GO:-go}" test -run '^$' -bench 'BenchmarkMatMul/1024$' ./internal/tensor)
 echo "$tout"
 gflops=$(echo "$tout" | awk '/^BenchmarkMatMul\/1024(-[0-9]+)?[ \t]/ {
     for (i = 3; i < NF; i++) if ($(i+1) == "GFLOP/s") print $i
