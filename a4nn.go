@@ -242,6 +242,25 @@ func NewHealthEngine(cfg HealthConfig, o *Observer) (*HealthEngine, error) {
 // into the latest state of each alert.
 func ReadAlerts(path string) ([]Alert, error) { return health.ReadAlerts(path) }
 
+// SLO is a per-run (or per-job) service-level objective set the health
+// engine tracks as error budgets with fast/slow burn-rate alerting.
+type SLO = health.SLO
+
+// ParseSLO parses the compact CLI objective specification, e.g.
+// "queue_wait_p99=2s,job_turnaround=10m,event_drop_rate=0.01".
+func ParseSLO(spec string) (*SLO, error) { return health.ParseSLO(spec) }
+
+// Postmortem is one decoded flight-recorder bundle — the black box a
+// dying run leaves behind under <dir>/postmortem.
+type Postmortem = obs.Postmortem
+
+// FindPostmortems lists the bundle files under dir/postmortem.
+func FindPostmortems(dir string) ([]string, error) { return obs.FindBundles(dir) }
+
+// DecodePostmortem reads and CRC-verifies one bundle file; torn or
+// corrupted bundles error, never decode as wrong data.
+func DecodePostmortem(path string) (*Postmortem, error) { return obs.DecodeBundle(path) }
+
 // ParseFaultPlan parses the compact CLI fault specification, e.g.
 // "transient=0.05;crash=1@2;slowdown=0.1;seed=7".
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return sched.ParseFaultPlan(spec) }

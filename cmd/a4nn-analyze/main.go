@@ -19,6 +19,7 @@
 //	a4nn-analyze -store DIR health            # alert history from the health monitor
 //	a4nn-analyze -store DIR recovery          # crash-recovery history (resumes, quarantines)
 //	a4nn-analyze -store DIR jobs              # job-service manifests under DIR/jobs
+//	a4nn-analyze -store DIR postmortem        # decode crash flight-recorder bundles
 package main
 
 import (
@@ -203,6 +204,38 @@ func main() {
 		}
 		fmt.Print(analyzer.FormatTable(
 			[]string{"job", "state", "beam", "shape", "seed", "prio", "duration", "note"}, rows))
+	case "postmortem":
+		// Flight-recorder bundles land under <dir>/postmortem for plain
+		// runs and <store>/jobs/<id>/postmortem for job-service tenants;
+		// sweep both so one command covers either deployment shape.
+		paths, err := obs.FindBundles(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		if jobDirs, err := filepath.Glob(filepath.Join(*storeDir, "jobs", "*")); err == nil {
+			for _, jd := range jobDirs {
+				if more, err := obs.FindBundles(jd); err == nil {
+					paths = append(paths, more...)
+				}
+			}
+		}
+		if len(paths) == 0 {
+			fmt.Println("no postmortem bundles found (they are written on fatal errors, chaos kills, and unresolved-critical shutdowns)")
+			return
+		}
+		for i, p := range paths {
+			pm, err := obs.DecodeBundle(p)
+			if err != nil {
+				// A torn bundle is itself a finding; report it and keep
+				// decoding the rest.
+				fmt.Fprintf(os.Stderr, "a4nn-analyze: %s: %v\n", p, err)
+				continue
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(analyzer.FormatPostmortem(pm, 10))
+		}
 	case "correlate":
 		models := loadModels(store, *beam)
 		fmt.Println(analyzer.AccuracyFLOPsCorrelation(models))

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"a4nn/internal/chaos"
 	"a4nn/internal/commons"
 	"a4nn/internal/health"
 	"a4nn/internal/jobs"
@@ -52,6 +53,8 @@ func main() {
 		jobsOn    = flag.Bool("jobs", false, "accept search submissions on POST /api/jobs and run them in-process over a shared device fleet")
 		fleetN    = flag.Int("fleet", 4, "device slots in the shared fleet (requires -jobs)")
 		resumeOn  = flag.Bool("resume", false, "resume every non-terminal job found under <store>/jobs (requires -jobs)")
+		sloSpec   = flag.String("slo", "", `per-job service-level objectives (requires -jobs), e.g. "queue_wait_p99=2s,job_turnaround=10m,event_drop_rate=0.01"`)
+		chaosSpec = flag.String("chaos", "", `crash-injection plan for fault drills against the job service, e.g. "crash=core.generation.commit@2;seed=7"`)
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -66,6 +69,28 @@ func main() {
 	}
 	if !*jobsOn && *resumeOn {
 		fatal(errors.New("-resume needs -jobs (it recovers interrupted job submissions)"))
+	}
+	if *sloSpec != "" && !*jobsOn {
+		fatal(errors.New("-slo needs -jobs (objectives are tracked per job)"))
+	}
+	var slo *health.SLO
+	if *sloSpec != "" {
+		var err error
+		if slo, err = health.ParseSLO(*sloSpec); err != nil {
+			fatal(err)
+		}
+	}
+	// Arm the crash plan before the first job starts so every journal
+	// append and generation commit inside the service is eligible. The
+	// injected kill dumps each armed job's flight-recorder bundle into
+	// its own directory on the way down (see internal/obs).
+	if *chaosSpec != "" {
+		plan, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		chaos.Install(plan)
+		fmt.Printf("chaos plan armed: %s\n", *chaosSpec)
 	}
 	store, err := commons.Open(*storeDir)
 	if err != nil {
@@ -85,11 +110,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One service-level observer backs both modes: -jobs rolls every
+	// job's metrics scope up into its registry (served on /metrics with
+	// `job="id"` labels, bounded by live jobs), and -follow pumps the
+	// followed journal through it.
+	var observer *obs.Observer
+	if *jobsOn || *follow {
+		observer = obs.NewObserver()
+		srv.SetObserver(observer)
+	}
+
 	var manager *jobs.Manager
 	if *jobsOn {
 		manager, err = jobs.NewManager(jobs.Options{
 			Root:       filepath.Join(*storeDir, "jobs"),
 			FleetSlots: *fleetN,
+			Obs:        observer,
+			SLO:        slo,
 		})
 		if err != nil {
 			fatal(err)
@@ -112,8 +149,6 @@ func main() {
 		// Follow mode tails the journal a concurrently running `a4nn
 		// -events` search appends to, so this viewer process serves the
 		// live dashboard for a run it did not start.
-		observer := obs.NewObserver()
-		srv.SetObserver(observer)
 		if *healthOn {
 			// Sidecar monitoring: the engine watches the same event stream
 			// the dashboard renders, so a plain viewer process doubles as

@@ -22,6 +22,7 @@ type flagSpec struct {
 	DataPath    string // -data
 	Health      bool   // -health
 	HealthSpec  string // -health-config
+	SLOSpec     string // -slo
 	Strict      bool   // -health-strict
 	Checkpoints bool   // -checkpoints
 	Resume      bool   // -resume
@@ -54,6 +55,9 @@ func validateFlags(f flagSpec) (warnings []string, err error) {
 	}
 	if f.Strict && !f.Health {
 		return nil, errors.New("-health-strict needs -health")
+	}
+	if f.SLOSpec != "" && !f.Health {
+		return nil, errors.New("-slo needs -health (objectives are tracked by the health monitor)")
 	}
 	if f.Checkpoints && f.Store == "" {
 		return nil, errors.New("-checkpoints needs -store (checkpoints live inside the data commons)")

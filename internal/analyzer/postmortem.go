@@ -1,0 +1,93 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"a4nn/internal/obs"
+)
+
+// FormatPostmortem renders one decoded flight-recorder bundle as the
+// `a4nn-analyze postmortem` report: why and when the process died,
+// what it looked like (heap, goroutines), which alerts were active,
+// and the tail of the event ring — the run's last words.
+func FormatPostmortem(pm *obs.Postmortem, tail int) string {
+	if tail <= 0 {
+		tail = 10
+	}
+	var b strings.Builder
+	if pm.Path != "" {
+		fmt.Fprintf(&b, "bundle:   %s\n", pm.Path)
+	}
+	fmt.Fprintf(&b, "reason:   %s\n", pm.Meta.Reason)
+	fmt.Fprintf(&b, "time:     %s\n", time.Unix(0, pm.Meta.TimeUnixNano).UTC().Format(time.RFC3339))
+	fmt.Fprintf(&b, "process:  pid %d, %s, bundle v%d\n", pm.Meta.PID, pm.Meta.GoVersion, pm.Meta.Version)
+
+	heap := pm.Heap()
+	if heap.HeapSys > 0 {
+		fmt.Fprintf(&b, "runtime:  %d goroutines, heap %.1f MiB live / %.1f MiB sys, %d GCs\n",
+			heap.Goroutines, float64(heap.HeapAlloc)/(1<<20), float64(heap.HeapSys)/(1<<20), heap.NumGC)
+	}
+	if man := pm.Sections[obs.SectionManifest]; len(man) > 0 {
+		var m struct {
+			Config struct {
+				ID string `json:"id"`
+			} `json:"config"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal(man, &m) == nil && m.Config.ID != "" {
+			fmt.Fprintf(&b, "job:      %s (manifest state at dump: %s)\n", m.Config.ID, m.State)
+		}
+	}
+
+	alerts := pm.Alerts()
+	if len(alerts) == 0 {
+		b.WriteString("\nno alerts active at dump time\n")
+	} else {
+		fmt.Fprintf(&b, "\nactive alerts (%d):\n", len(alerts))
+		var rows [][]string
+		for _, a := range alerts {
+			rows = append(rows, []string{a.Severity, a.AlertID, fmt.Sprint(a.Count), a.Msg})
+		}
+		b.WriteString(FormatTable([]string{"severity", "alert", "count", "message"}, rows))
+	}
+
+	events := pm.Events()
+	spans := pm.Spans()
+	history := pm.MetricsHistory()
+	fmt.Fprintf(&b, "\nblack box: %d events, %d spans, %d metrics samples\n",
+		len(events), len(spans), len(history))
+	if len(events) > 0 {
+		if len(events) > tail {
+			events = events[len(events)-tail:]
+		}
+		fmt.Fprintf(&b, "last %d events:\n", len(events))
+		var rows [][]string
+		for _, e := range events {
+			rows = append(rows, []string{fmt.Sprint(e.Seq), e.Type, eventDetail(e)})
+		}
+		b.WriteString(FormatTable([]string{"seq", "type", "detail"}, rows))
+	}
+	return b.String()
+}
+
+// eventDetail picks one human-useful column for an event row.
+func eventDetail(e obs.Event) string {
+	switch {
+	case e.Msg != "":
+		return e.Msg
+	case e.Err != "":
+		return e.Err
+	case e.Model != "":
+		if e.Epoch > 0 {
+			return fmt.Sprintf("%s epoch %d", e.Model, e.Epoch)
+		}
+		return e.Model
+	case e.Type == obs.EventGenerationStart || e.Type == obs.EventGenerationEnd:
+		return fmt.Sprintf("generation %d", e.Gen)
+	default:
+		return ""
+	}
+}

@@ -161,6 +161,26 @@ var active atomic.Pointer[engine]
 // cleanup, approximating a SIGKILL at the crash point.
 var exit = os.Exit
 
+// crashHook is invoked once, synchronously, just before an injected
+// crash exits the process — the flight recorder's chance to dump its
+// black boxes. A SIGKILL would give no such chance; an injected crash
+// deliberately does, because the postmortem bundle is itself part of
+// what chaos drills are rehearsing.
+var crashHook atomic.Pointer[func()]
+
+// SetCrashHook installs f to run before an injected crash's exit.
+// Passing nil clears it. The hook must not re-enter chaos points that
+// can crash (it runs exactly once, before exit, on the crashing
+// goroutine, possibly while journal or alert-sink locks are held — so
+// it must not touch those either).
+func SetCrashHook(f func()) {
+	if f == nil {
+		crashHook.Store(nil)
+		return
+	}
+	crashHook.Store(&f)
+}
+
 // Install arms the plan process-wide, resetting all visit counters.
 // Install(nil) disarms chaos.
 func Install(p *Plan) {
@@ -207,6 +227,9 @@ func (e *engine) visit(name string) error {
 		}
 		if r.mode == modeCrash {
 			fmt.Fprintf(os.Stderr, "chaos: crash at point %s (visit %d)\n", name, n)
+			if h := crashHook.Load(); h != nil {
+				(*h)()
+			}
 			exit(ExitCode)
 			return nil // only reached when exit is stubbed in tests
 		}

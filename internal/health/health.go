@@ -118,6 +118,9 @@ type Config struct {
 	// 0.03).
 	DiskWarnFrac float64
 	DiskCritFrac float64
+	// SLO, when non-nil, enables the service-level-objective monitor
+	// family (error budgets and burn-rate alerts; see SLO and ParseSLO).
+	SLO *SLO
 }
 
 // DefaultConfig returns the default thresholds described on Config.
@@ -445,6 +448,9 @@ func New(cfg Config, o *obs.Observer) (*Engine, error) {
 	}
 	if cfg.DiskPath != "" {
 		e.monitors = append(e.monitors, newDiskMon(cfg, reg))
+	}
+	if cfg.SLO != nil {
+		e.monitors = append(e.monitors, newSLOMon(*cfg.SLO, reg, nil))
 	}
 	if cfg.AlertCommand != "" {
 		e.sink = newExecSink(cfg.AlertCommand, cfg.AlertCommandInterval, o)

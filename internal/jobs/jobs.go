@@ -209,6 +209,8 @@ type Job struct {
 	cancel   context.CancelFunc
 	observer *obs.Observer
 	health   *health.Engine
+	scope    *obs.Registry // per-job metrics scope; survives Retire
+	recorder *obs.Recorder
 	done     chan struct{}
 }
 
@@ -240,6 +242,16 @@ type Options struct {
 	// HealthConfig tunes each job's in-situ health engine; the zero
 	// value uses the defaults.
 	HealthConfig health.Config
+	// SLO, when non-nil, gives every job's health engine the
+	// service-level objectives (per-job error budgets and burn-rate
+	// alerts).
+	SLO *health.SLO
+	// Obs is the service-level observer. When set, every job's metrics
+	// registry becomes a child scope of its registry, so per-job series
+	// roll up into the service /metrics labelled `job="id"`. When nil
+	// the manager keeps a private parent registry, and the roll-up is
+	// reachable through Manager.Registry.
+	Obs *obs.Observer
 }
 
 // Manager owns the job table, the shared fleet, and one goroutine per
@@ -249,6 +261,8 @@ type Manager struct {
 	fleet      *sched.Fleet
 	throughput float64
 	healthCfg  health.Config
+	slo        *health.SLO
+	reg        *obs.Registry // parent of every job's metrics scope
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -273,14 +287,23 @@ func NewManager(opts Options) (*Manager, error) {
 	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
+	reg := opts.Obs.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Manager{
 		root:       opts.Root,
 		fleet:      fleet,
 		throughput: opts.Throughput,
 		healthCfg:  opts.HealthConfig,
+		slo:        opts.SLO,
+		reg:        reg,
 		jobs:       make(map[string]*Job),
 	}, nil
 }
+
+// Registry returns the parent registry job scopes roll up into.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
 
 // Fleet exposes the shared device arbiter (for /api/fleet).
 func (m *Manager) Fleet() *sched.Fleet { return m.fleet }
@@ -454,15 +477,43 @@ func (m *Manager) runSearch(ctx context.Context, job *Job, resume bool) error {
 
 	// Per-job observability: the journal, metrics, spans, and alerts all
 	// live inside the job's own directory, so the SSE stream, dashboard,
-	// and health endpoints are namespaced by construction.
-	observer := obs.NewObserver()
+	// and health endpoints are namespaced by construction. The metrics
+	// registry is a child scope of the service registry: the job's
+	// series roll up into the shared /metrics as `...{job="id"}` while
+	// the job is live, and Retire below removes them when it is not, so
+	// service cardinality is bounded by concurrent jobs.
+	scope := m.reg.Scope("job", job.id)
+	observer := obs.NewObserverWith(scope)
 	if err := observer.Journal().OpenFile(filepath.Join(job.dir, obs.EventsFile)); err != nil {
+		m.reg.Retire("job", job.id)
 		return err
 	}
 	defer observer.Journal().Close()
+	defer m.reg.Retire("job", job.id)
+	// Evict any SSE followers still attached to the job's broker —
+	// terminal jobs must not pin subscriber goroutines.
+	defer observer.Journal().Broker().CloseAll()
+
+	// The flight recorder is the job's black box: armed for the whole
+	// search, it turns a chaos kill, a fatal error, or an unresolved
+	// critical shutdown into a postmortem bundle under the job's own
+	// directory.
+	recorder := obs.NewRecorder(obs.RecorderConfig{
+		Dir:          job.dir,
+		Registry:     scope,
+		Tracer:       observer.Tracer(),
+		ManifestPath: filepath.Join(job.dir, ManifestFile),
+	})
+	observer.AttachRecorder(recorder)
+	recorder.Arm()
+	recorder.Start(0)
+	defer recorder.Close()
 
 	healthCfg := m.healthCfg
 	healthCfg.DiskPath = job.dir
+	if m.slo != nil && healthCfg.SLO == nil {
+		healthCfg.SLO = m.slo
+	}
 	eng, err := health.New(healthCfg, observer)
 	if err != nil {
 		return err
@@ -478,6 +529,8 @@ func (m *Manager) runSearch(ctx context.Context, job *Job, resume bool) error {
 	job.mu.Lock()
 	job.observer = observer
 	job.health = eng
+	job.scope = scope
+	job.recorder = recorder
 	job.mu.Unlock()
 
 	cfg.Store = store
@@ -517,6 +570,13 @@ func (m *Manager) runSearch(ctx context.Context, job *Job, resume bool) error {
 
 	res, err := core.RunCtx(ctx, cfg)
 	if err != nil {
+		// A genuine failure (not a cancel/drain) is a fatal path for this
+		// job: leave a black-box bundle next to the records it died on.
+		if ctx.Err() == nil {
+			if _, derr := recorder.Dump(fmt.Sprintf("job %s failed: %v", job.id, err)); derr != nil {
+				fmt.Fprintln(os.Stderr, "jobs: postmortem dump failed:", derr)
+			}
+		}
 		return err
 	}
 	// Flush spans.jsonl and metrics.json next to the records so
@@ -671,6 +731,20 @@ func (m *Manager) Journal(id string) (*obs.Journal, error) {
 		return nil, nil
 	}
 	return j.observer.Journal(), nil
+}
+
+// JobRegistry returns a job's metrics scope (nil until its search has
+// started its observer), for the namespaced metrics endpoint. A
+// terminal job keeps its scope even after the shared roll-up retires
+// it, so its final counters stay queryable.
+func (m *Manager) JobRegistry(id string) (*obs.Registry, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.scope, nil
 }
 
 // HealthEngine returns a job's health engine (nil until started), for

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -488,5 +490,99 @@ func TestConfigNormalizeValidate(t *testing.T) {
 	}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestManagerObservabilityRelease is the leak test for the per-job
+// observability state: submitting and canceling a hundred jobs must
+// return the shared registry (scoped series), the crash-dump set
+// (recorder rings), the SSE broker (subscribers), and the goroutine
+// count to their baselines. This is the cardinality bound the shared
+// /metrics endpoint documents: series scale with *live* jobs, not with
+// the service's lifetime submission count.
+func TestManagerObservabilityRelease(t *testing.T) {
+	m := newTestManager(t, 4)
+	baselineSeries := m.Registry().NumSeries()
+	runtime.GC()
+	baselineGoroutines := runtime.NumGoroutine()
+
+	const n = 100
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		jc := smallJob(fmt.Sprintf("leak-%03d", i), int64(i+1))
+		jc.Generations = 50 // long enough that cancellation wins the race
+		if _, err := m.Submit(jc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, jc.ID)
+	}
+
+	// Attach an SSE-style follower to one live journal so the sweep has
+	// a subscriber to evict.
+	var sub *obs.Subscriber
+	deadline := time.Now().Add(30 * time.Second)
+	for sub == nil {
+		for _, id := range ids {
+			if jn, err := m.Journal(id); err == nil && jn != nil {
+				sub = jn.Subscribe(16)
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no job journal ever appeared")
+		}
+		if sub == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for _, id := range ids {
+		if err := m.Cancel(id); err != nil && !errors.Is(err, ErrTerminal) {
+			t.Fatalf("cancel %s: %v", id, err)
+		}
+	}
+	for _, id := range ids {
+		waitTerminal(t, m, id)
+	}
+
+	// The follower's channel must close — terminal jobs pin no
+	// subscriber goroutines.
+	closeDeadline := time.After(10 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-sub.C():
+			open = ok
+		case <-closeDeadline:
+			t.Fatal("subscriber channel never closed after job teardown")
+		}
+	}
+
+	if got := m.Registry().Scopes(); got != 0 {
+		t.Errorf("live scopes after teardown = %d, want 0", got)
+	}
+	if got := m.Registry().NumSeries(); got != baselineSeries {
+		t.Errorf("registry series = %d, want baseline %d", got, baselineSeries)
+	}
+	if got := obs.ArmedRecorders(); got != 0 {
+		t.Errorf("armed recorders after teardown = %d, want 0", got)
+	}
+	// Goroutines wind down asynchronously; give them a bounded settle.
+	settle := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baselineGoroutines+3 {
+			break
+		} else if time.Now().After(settle) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines = %d, baseline %d; stacks:\n%s",
+				g, baselineGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Per-job metrics stay queryable after the roll-up retired them.
+	reg, err := m.JobRegistry(ids[0])
+	if err != nil || reg == nil {
+		t.Fatalf("JobRegistry(%s) = %v, %v; want live scope", ids[0], reg, err)
 	}
 }

@@ -97,6 +97,23 @@ func (b *Broker) Publish(e Event) {
 	b.mu.Unlock()
 }
 
+// CloseAll evicts every subscriber, closing their channels, so blocked
+// readers (SSE handlers, follow loops) return. New subscriptions after
+// CloseAll still work — this is a tenant-teardown sweep, not a
+// terminal shutdown. Nil-safe.
+func (b *Broker) CloseAll() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	for s := range b.subs {
+		delete(b.subs, s)
+		s.closed = true
+		close(s.ch)
+	}
+	b.mu.Unlock()
+}
+
 // Subscribers returns the number of attached subscribers.
 func (b *Broker) Subscribers() int {
 	if b == nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"a4nn/internal/chaos"
@@ -142,6 +143,11 @@ type Journal struct {
 	file   *os.File
 	broker *Broker
 	buf    []byte // marshal scratch, reused under mu
+
+	// rec is the attached flight recorder; one atomic load per Emit
+	// when none is attached (the disabled-recorder cost the bench gate
+	// holds at 0 allocs/op).
+	rec atomic.Pointer[Recorder]
 
 	emitted  *Counter // nil-safe accounting hooks
 	fileErrs *Counter
@@ -328,11 +334,25 @@ func (j *Journal) Emit(e Event) {
 			j.fileErrs.Inc()
 		}
 	}
+	// The recorder hook sits after the file append so the black-box
+	// ring never runs ahead of the durable journal: an injected crash
+	// at the append point leaves ring tail == file tail, which the
+	// postmortem e2e asserts.
+	j.rec.Load().Record(e)
 	// Publishing under mu keeps broker delivery in sequence order for
 	// concurrent emitters; Publish never blocks, so this is cheap.
 	j.broker.Publish(e)
 	j.mu.Unlock()
 	j.emitted.Inc()
+}
+
+// AttachRecorder points the journal's flight-recorder hook at r (nil
+// detaches). Nil-safe.
+func (j *Journal) AttachRecorder(r *Recorder) {
+	if j == nil {
+		return
+	}
+	j.rec.Store(r)
 }
 
 // Ingest records an externally produced event (e.g. tailed from
@@ -347,6 +367,7 @@ func (j *Journal) Ingest(e Event) {
 		j.next = e.Seq + 1
 	}
 	j.store(e)
+	j.rec.Load().Record(e)
 	j.broker.Publish(e)
 	j.mu.Unlock()
 	j.emitted.Inc()

@@ -32,8 +32,11 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures the registry's current values. A nil registry
-// yields an empty (but non-nil-mapped) snapshot.
+// Snapshot captures the registry's current values, including every
+// live scope's series decorated with the scope's label pair (so a
+// scoped `x{d="0"}` under Scope("job","a") appears as
+// `x{d="0",job="a"}`). A nil registry yields an empty (but
+// non-nil-mapped) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   make(map[string]uint64),
@@ -44,7 +47,6 @@ func (r *Registry) Snapshot() Snapshot {
 		return snap
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()
 	}
@@ -63,6 +65,26 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets = append(hs.Buckets, BucketCount{Le: bucketLabel(le), Count: cum})
 		}
 		snap.Histograms[name] = hs
+	}
+	scopes := make(map[string]*Registry, len(r.scopes))
+	for key, s := range r.scopes {
+		scopes[key] = s
+	}
+	r.mu.Unlock()
+	// Scopes snapshot outside the parent lock: a scope is itself a
+	// registry (possibly with scopes of its own), and its series merge
+	// in under the scope's label pair.
+	for key, s := range scopes {
+		sub := s.Snapshot()
+		for name, v := range sub.Counters {
+			snap.Counters[decorateName(name, key)] = v
+		}
+		for name, v := range sub.Gauges {
+			snap.Gauges[decorateName(name, key)] = v
+		}
+		for name, v := range sub.Histograms {
+			snap.Histograms[decorateName(name, key)] = v
+		}
 	}
 	return snap
 }

@@ -32,7 +32,18 @@ type Observer struct {
 // DefaultSpanCapacity, and an event journal (ring only — attach a
 // file with Journal().OpenFile to persist events).
 func NewObserver() *Observer {
-	o := &Observer{reg: NewRegistry(), tracer: NewTracer(0), journal: NewJournal(0)}
+	return NewObserverWith(nil)
+}
+
+// NewObserverWith builds an observer over a supplied registry — the
+// multi-tenant hook: passing a parent registry's Scope gives the run
+// its own instrument namespace while its series roll up, labelled,
+// into the parent's /metrics. A nil registry gets a fresh one.
+func NewObserverWith(reg *Registry) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	o := &Observer{reg: reg, tracer: NewTracer(0), journal: NewJournal(0)}
 	o.journal.bindMetrics(o.reg)
 	return o
 }
@@ -51,6 +62,15 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.tracer
+}
+
+// AttachRecorder points the observer's journal at the flight recorder
+// (nil detaches). Nil-safe.
+func (o *Observer) AttachRecorder(r *Recorder) {
+	if o == nil {
+		return
+	}
+	o.journal.AttachRecorder(r)
 }
 
 // Journal returns the event journal (nil on a nil observer).

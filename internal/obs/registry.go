@@ -113,6 +113,25 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 }
 
+// BelowCount returns the number of observations at or below the
+// smallest bucket upper bound ≥ t — the histogram's best answer to
+// "how many observations were ≤ t", bucket-granular and rounded in
+// t's favor. Nil-safe.
+func (h *Histogram) BelowCount(t float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	limit := sort.SearchFloat64s(h.upper, t) + 1
+	if limit > len(h.upper) {
+		return h.count.Load() // t beyond the last bound: everything
+	}
+	var sum uint64
+	for i := 0; i < limit; i++ {
+		sum += h.counts[i].Load()
+	}
+	return sum
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -149,11 +168,20 @@ var (
 // meant to be resolved once at setup and then updated lock-free on the
 // hot path. All methods are nil-safe: on a nil registry they return nil
 // handles, whose updates are no-ops.
+//
+// A registry can hold child scopes (Scope), each a full registry whose
+// series are exported with one extra label — the multi-tenant job
+// service gives every job its own scope so per-job series roll up into
+// the service /metrics as `...{job="id"}`. Scopes are retired (Retire)
+// when their tenant reaches a terminal state, so the parent's
+// cardinality is bounded by the number of live tenants, not by the
+// service's lifetime submission count.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	scopes     map[string]*Registry // key: rendered label, e.g. `job="a"`
 }
 
 // NewRegistry returns an empty registry.
@@ -163,6 +191,110 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
+}
+
+// scopeKey renders the label pair a scope's series are decorated with.
+// Values are escaped the way Prometheus label values are, so a hostile
+// tenant id cannot break the exposition format.
+func scopeKey(label, value string) string {
+	var b strings.Builder
+	b.WriteString(label)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Scope returns (creating if needed) the child registry whose series
+// export with the extra label `label="value"`. The child is a full
+// registry: instruments registered on it are invisible to the parent's
+// instrument lookups but appear, decorated, in the parent's Snapshot,
+// Prometheus, and JSON output. Nil-safe: a nil registry scopes to nil.
+func (r *Registry) Scope(label, value string) *Registry {
+	if r == nil {
+		return nil
+	}
+	key := scopeKey(label, value)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.scopes == nil {
+		r.scopes = make(map[string]*Registry)
+	}
+	s, ok := r.scopes[key]
+	if !ok {
+		s = NewRegistry()
+		r.scopes[key] = s
+	}
+	return s
+}
+
+// Retire detaches the scope for `label="value"`, removing its series
+// from the parent's output. Handles into the detached scope stay valid
+// (updates just no longer surface), so a tenant that is shutting down
+// concurrently cannot crash the export path. Nil-safe; retiring an
+// unknown scope is a no-op.
+func (r *Registry) Retire(label, value string) {
+	if r == nil {
+		return
+	}
+	key := scopeKey(label, value)
+	r.mu.Lock()
+	delete(r.scopes, key)
+	r.mu.Unlock()
+}
+
+// Scopes returns the number of live child scopes (leak tests and the
+// cardinality bound). Nil-safe.
+func (r *Registry) Scopes() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.scopes)
+}
+
+// NumSeries counts the registry's series including every live scope's
+// (histograms count as one series each). This is the number the
+// cardinality bound is stated in: own instruments + Σ scope series.
+// Nil-safe.
+func (r *Registry) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	n := len(r.counters) + len(r.gauges) + len(r.histograms)
+	scopes := make([]*Registry, 0, len(r.scopes))
+	for _, s := range r.scopes {
+		scopes = append(scopes, s)
+	}
+	r.mu.Unlock()
+	for _, s := range scopes {
+		n += s.NumSeries()
+	}
+	return n
+}
+
+// decorateName merges a scope's label pair into a series name:
+// (`x`, `job="a"`) → `x{job="a"}`; (`x{d="0"}`, `job="a"`) →
+// `x{d="0",job="a"}`.
+func decorateName(name, labelPair string) string {
+	base := baseName(name)
+	labels := name[len(base):]
+	if labels == "" {
+		return base + "{" + labelPair + "}"
+	}
+	return base + "{" + labels[1:len(labels)-1] + "," + labelPair + "}"
 }
 
 // Counter returns (registering if needed) the counter with the name.

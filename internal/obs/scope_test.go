@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestScopeSnapshotDecoration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("root_total").Add(3)
+
+	a := reg.Scope("job", "a")
+	a.Counter("a4nn_events_emitted_total").Add(7)
+	a.Gauge(`a4nn_sched_device_busy{device="0"}`).Set(1.5)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["root_total"]; got != 3 {
+		t.Fatalf("root_total = %d, want 3", got)
+	}
+	if got := snap.Counters[`a4nn_events_emitted_total{job="a"}`]; got != 7 {
+		t.Fatalf("scoped counter = %d, want 7 (counters: %v)", got, snap.Counters)
+	}
+	// A series with embedded labels merges the scope pair in.
+	if got := snap.Gauges[`a4nn_sched_device_busy{device="0",job="a"}`]; got != 1.5 {
+		t.Fatalf("scoped labelled gauge = %v, want 1.5 (gauges: %v)", got, snap.Gauges)
+	}
+	// Scope instruments are invisible to the parent's own lookups: the
+	// parent returns a fresh counter, not the child's.
+	if got := reg.Counter("a4nn_events_emitted_total").Value(); got != 0 {
+		t.Fatalf("parent lookup sees scoped counter (value %d)", got)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `a4nn_events_emitted_total{job="a"} 7`) {
+		t.Fatalf("prometheus output missing scoped series:\n%s", buf.String())
+	}
+}
+
+func TestScopeRetireBoundsCardinality(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("base").Set(1)
+	baseline := reg.NumSeries()
+
+	scope := reg.Scope("job", "tenant")
+	c := scope.Counter("work_total")
+	c.Inc()
+	if reg.Scopes() != 1 {
+		t.Fatalf("Scopes = %d, want 1", reg.Scopes())
+	}
+	if got := reg.NumSeries(); got != baseline+1 {
+		t.Fatalf("NumSeries = %d, want %d", got, baseline+1)
+	}
+
+	reg.Retire("job", "tenant")
+	if reg.Scopes() != 0 {
+		t.Fatalf("Scopes after retire = %d, want 0", reg.Scopes())
+	}
+	if got := reg.NumSeries(); got != baseline {
+		t.Fatalf("NumSeries after retire = %d, want baseline %d", got, baseline)
+	}
+	if _, ok := reg.Snapshot().Counters[`work_total{job="tenant"}`]; ok {
+		t.Fatal("retired scope still exported")
+	}
+	// Handles into a retired scope stay valid: the tenant's teardown
+	// can race the export path without crashing anything.
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("retired handle value = %d, want 2", c.Value())
+	}
+	// Retiring twice and retiring the unknown is a no-op.
+	reg.Retire("job", "tenant")
+	reg.Retire("job", "never-existed")
+
+	// Re-scoping the same tenant id starts a fresh registry.
+	if got := reg.Scope("job", "tenant").Counter("work_total").Value(); got != 0 {
+		t.Fatalf("re-created scope inherited old counter (value %d)", got)
+	}
+}
+
+func TestScopeKeyEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\"b\\c\nd"
+	reg.Scope("job", hostile).Counter("x").Inc()
+	snap := reg.Snapshot()
+	want := `x{job="a\"b\\c\nd"}`
+	if _, ok := snap.Counters[want]; !ok {
+		t.Fatalf("escaped series %q missing (counters: %v)", want, snap.Counters)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\nd\"}") {
+		t.Fatalf("raw newline leaked into exposition format:\n%s", buf.String())
+	}
+}
+
+func TestHistogramBelowCount(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("w", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 4, 10} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		t    float64
+		want uint64
+	}{
+		{1, 1},   // ≤1 bucket
+		{2, 3},   // ≤2
+		{5, 4},   // ≤5
+		{3, 4},   // rounds up to the ≤5 bucket, in t's favor
+		{100, 5}, // beyond the last bound: everything
+	}
+	for _, c := range cases {
+		if got := h.BelowCount(c.t); got != c.want {
+			t.Errorf("BelowCount(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.BelowCount(1) != 0 {
+		t.Fatal("nil histogram BelowCount != 0")
+	}
+}
+
+// TestScopeConcurrentChurn drives scope creation, instrument updates,
+// export, and retirement from concurrent goroutines; run under -race
+// by `make race-obs`.
+func TestScopeConcurrentChurn(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g))
+			for i := 0; i < 200; i++ {
+				s := reg.Scope("job", id)
+				s.Counter("work_total").Inc()
+				s.Gauge("depth").Set(float64(i))
+				if i%10 == 0 {
+					reg.Snapshot()
+				}
+				if i%25 == 0 {
+					reg.Retire("job", id)
+				}
+			}
+			reg.Retire("job", id)
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Scopes(); got != 0 {
+		t.Fatalf("Scopes after churn = %d, want 0", got)
+	}
+	if got := reg.NumSeries(); got != 0 {
+		t.Fatalf("NumSeries after churn = %d, want 0", got)
+	}
+}

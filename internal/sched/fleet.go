@@ -287,6 +287,12 @@ type FleetJobStatus struct {
 	Grants      int     `json:"grants"`
 	WaitSeconds float64 `json:"wait_seconds"`
 	SlotSeconds float64 `json:"slot_seconds"`
+	// EntitledShare is the job's stride entitlement: weight over the sum
+	// of registered weights. MeasuredShare is what it actually received:
+	// its device-seconds over the fleet's total. Comparing the two per
+	// job is the fairness audit the fleet metrics endpoint exports.
+	EntitledShare float64 `json:"entitled_share"`
+	MeasuredShare float64 `json:"measured_share"`
 }
 
 // FleetStatus is a point-in-time view of the arbiter, for /api/fleet.
@@ -303,6 +309,11 @@ func (f *Fleet) Status() FleetStatus {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := FleetStatus{Capacity: f.capacity, InUse: f.capacity - f.free}
+	var totalWeight, totalSlotSecs float64
+	for _, j := range f.jobs {
+		totalWeight += j.weight
+		totalSlotSecs += j.slotSecs
+	}
 	for _, j := range f.jobs {
 		js := FleetJobStatus{
 			ID:          j.id,
@@ -314,6 +325,12 @@ func (f *Fleet) Status() FleetStatus {
 			Grants:      j.grants,
 			WaitSeconds: j.waitSecs,
 			SlotSeconds: j.slotSecs,
+		}
+		if totalWeight > 0 {
+			js.EntitledShare = j.weight / totalWeight
+		}
+		if totalSlotSecs > 0 {
+			js.MeasuredShare = j.slotSecs / totalSlotSecs
 		}
 		if j.waiting {
 			js.WantSlots = j.want

@@ -9,6 +9,7 @@ import (
 
 	"a4nn/internal/health"
 	"a4nn/internal/jobs"
+	"a4nn/internal/obs"
 	"a4nn/internal/sched"
 )
 
@@ -26,8 +27,10 @@ import (
 //	GET    /api/jobs/{id}/events    the job's SSE stream
 //	GET    /api/jobs/{id}/healthz   the job's health engine status
 //	GET    /api/jobs/{id}/alerts    the job's active/resolved alerts
+//	GET    /api/jobs/{id}/metrics   the job's own metrics scope (Prometheus text)
 //	GET    /api/jobs/{id}/dashboard the live dashboard bound to this job
 //	GET    /api/fleet               fleet + per-job aggregate view
+//	GET    /api/fleet/metrics       fair-share audit as Prometheus gauges
 //	GET    /fleet                   the fleet dashboard page
 //
 // Same contract as SetObserver: at most once, before serving; nil or
@@ -48,8 +51,10 @@ func (s *Server) SetJobs(m *jobs.Manager) {
 	s.mux.HandleFunc("GET /api/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /api/jobs/{id}/healthz", s.handleJobHealthz)
 	s.mux.HandleFunc("GET /api/jobs/{id}/alerts", s.handleJobAlerts)
+	s.mux.HandleFunc("GET /api/jobs/{id}/metrics", s.handleJobMetrics)
 	s.mux.HandleFunc("GET /api/jobs/{id}/dashboard", s.handleJobDashboard)
 	s.mux.HandleFunc("GET /api/fleet", s.handleFleet)
+	s.mux.HandleFunc("GET /api/fleet/metrics", s.handleFleetMetrics)
 	s.mux.HandleFunc("GET /fleet", s.handleFleetPage)
 }
 
@@ -180,6 +185,50 @@ func (s *Server) handleJobAlerts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	health.AlertsHandler(eng).ServeHTTP(w, r)
+}
+
+// handleJobMetrics serves one job's metrics scope in Prometheus text
+// format — undecorated series, exactly what the job's own observer
+// registers. The job-labelled roll-up of the same series lives on the
+// shared /metrics while the job is live; this endpoint keeps working
+// after terminal state, because the job retains its scope even once
+// the roll-up retires it.
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	reg, err := s.jobs.JobRegistry(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	if reg == nil {
+		http.Error(w, "job metrics not started", http.StatusServiceUnavailable)
+		return
+	}
+	reg.MetricsHandler().ServeHTTP(w, r)
+}
+
+// handleFleetMetrics exports the fleet's fair-share audit as Prometheus
+// gauges: per job, the stride entitlement (weight over total weight)
+// against the measured device-seconds share, plus the arbiter's slot
+// occupancy. A divergence between the two shares is the scheduler
+// failing its fairness contract — exactly the comparison an external
+// alerting stack should watch. The registry is rebuilt per request from
+// the fleet snapshot; cardinality is bounded by registered (live) jobs.
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	fs := s.jobs.Fleet().Status()
+	reg := obs.NewRegistry()
+	reg.Gauge("a4nn_fleet_capacity_slots").Set(float64(fs.Capacity))
+	reg.Gauge("a4nn_fleet_in_use_slots").Set(float64(fs.InUse))
+	reg.Gauge("a4nn_fleet_waiting_jobs").Set(float64(fs.Waiting))
+	for _, j := range fs.Jobs {
+		// Job IDs are validated to [a-zA-Z0-9._-]+, safe inside a label.
+		label := fmt.Sprintf("{job=%q}", j.ID)
+		reg.Gauge("a4nn_fleet_entitled_share" + label).Set(j.EntitledShare)
+		reg.Gauge("a4nn_fleet_measured_share" + label).Set(j.MeasuredShare)
+		reg.Gauge("a4nn_fleet_slot_seconds" + label).Set(j.SlotSeconds)
+		reg.Gauge("a4nn_fleet_wait_seconds" + label).Set(j.WaitSeconds)
+		reg.Gauge("a4nn_fleet_held_slots" + label).Set(float64(j.HeldSlots))
+	}
+	reg.MetricsHandler().ServeHTTP(w, r)
 }
 
 func (s *Server) handleJobDashboard(w http.ResponseWriter, r *http.Request) {

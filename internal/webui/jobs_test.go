@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"a4nn/internal/jobs"
+	"a4nn/internal/obs"
 )
 
 // jobServer builds a webui server with the job service mounted.
@@ -250,5 +251,118 @@ func TestNoJobsEndpointsWithoutManager(t *testing.T) {
 	}
 	if code, _ := doReq(t, "GET", ts.URL+"/api/fleet", ""); code != 404 {
 		t.Fatalf("GET /api/fleet without manager: %d", code)
+	}
+}
+
+// TestJobAndFleetMetricsEndpoints drives two concurrent jobs and
+// asserts the three metrics surfaces: each job's own scope endpoint,
+// the fleet fair-share audit, and the shared /metrics roll-up with
+// job-labelled series — which must drop those labels once the jobs
+// are gone (the cardinality bound).
+func TestJobAndFleetMetricsEndpoints(t *testing.T) {
+	srv, err := New(testStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.NewObserver()
+	srv.SetObserver(observer)
+	m, err := jobs.NewManager(jobs.Options{Root: t.TempDir(), FleetSlots: 2, Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	srv.SetJobs(m)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	for _, id := range []string{"alpha", "beta"} {
+		body := `{"id":"` + id + `","population":4,"offspring":4,"generations":50,"epochs":8,"seed":7}`
+		if code, resp := doReq(t, "POST", ts.URL+"/api/jobs", body); code != http.StatusCreated {
+			t.Fatalf("submit %s: %d %s", id, code, resp)
+		}
+	}
+	// Wait until both scopes exist (the searches have started their
+	// observers).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		a, _ := m.JobRegistry("alpha")
+		b, _ := m.JobRegistry("beta")
+		if a != nil && b != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job scopes never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Per-job endpoint: each job's own undecorated series.
+	for _, id := range []string{"alpha", "beta"} {
+		code, body := doReq(t, "GET", ts.URL+"/api/jobs/"+id+"/metrics", "")
+		if code != http.StatusOK {
+			t.Fatalf("job metrics %s: %d %s", id, code, body)
+		}
+		if !strings.Contains(body, "a4nn_events_emitted_total") {
+			t.Errorf("job metrics %s missing journal series:\n%s", id, body)
+		}
+		if strings.Contains(body, `job="`) {
+			t.Errorf("job metrics %s should be undecorated:\n%s", id, body)
+		}
+	}
+
+	// Fleet audit: entitled vs measured share gauges for both jobs.
+	code, body := doReq(t, "GET", ts.URL+"/api/fleet/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet metrics: %d %s", code, body)
+	}
+	for _, want := range []string{
+		`a4nn_fleet_entitled_share{job="alpha"}`,
+		`a4nn_fleet_entitled_share{job="beta"}`,
+		`a4nn_fleet_measured_share{job="alpha"}`,
+		`a4nn_fleet_measured_share{job="beta"}`,
+		"a4nn_fleet_capacity_slots 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Equal priorities: each job is entitled to half the fleet.
+	if !strings.Contains(body, `a4nn_fleet_entitled_share{job="alpha"} 0.5`) {
+		t.Errorf("entitled share not 0.5 for equal weights:\n%s", body)
+	}
+
+	// Shared /metrics: the same job series, rolled up with labels.
+	code, body = doReq(t, "GET", ts.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("shared metrics: %d", code)
+	}
+	for _, want := range []string{
+		`a4nn_events_emitted_total{job="alpha"}`,
+		`a4nn_events_emitted_total{job="beta"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("shared metrics missing roll-up %q:\n%s", want, body)
+		}
+	}
+
+	// Terminal jobs retire from the roll-up but keep their own endpoint.
+	for _, id := range []string{"alpha", "beta"} {
+		doReq(t, "DELETE", ts.URL+"/api/jobs/"+id, "")
+		waitJobState(t, m, id, jobs.StateCanceled)
+	}
+	code, body = doReq(t, "GET", ts.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("shared metrics after teardown: %d", code)
+	}
+	if strings.Contains(body, `job="`) {
+		t.Errorf("job-labelled series survived teardown:\n%s", body)
+	}
+	code, body = doReq(t, "GET", ts.URL+"/api/jobs/alpha/metrics", "")
+	if code != http.StatusOK || !strings.Contains(body, "a4nn_events_emitted_total") {
+		t.Errorf("terminal job metrics = %d:\n%s", code, body)
 	}
 }

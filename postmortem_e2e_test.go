@@ -1,0 +1,117 @@
+package a4nn
+
+// End-to-end test of the crash flight recorder: boot a4nn-serve -jobs
+// with an armed chaos plan, let the injected kill take the process
+// down mid-generation, and assert the dying job left a decodable
+// postmortem bundle whose event ring agrees with the durable journal
+// tail — then relaunch with -resume and let the job finish anyway.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPostmortemOnChaosKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("postmortem e2e in -short mode")
+	}
+	bins := buildTools(t, "a4nn-serve", "a4nn-analyze")
+	store := scratchDir(t, "store")
+	jobDir := filepath.Join(store, "jobs", "pm-job")
+
+	// The crash plan kills the process (exit 86) at the second
+	// generation commit; the SLO flag rides along to exercise the
+	// -jobs objective plumbing on the same boot.
+	p := startServe(t, bins["a4nn-serve"], store,
+		"-chaos", "crash=core.generation.commit@2;seed=7",
+		"-slo", "queue_wait_p99=2s,event_drop_rate=0.5")
+	jc := e2eJob("pm-job", 47)
+	jc.Generations = 6
+	postJob(t, p, e2eJobBody(jc))
+
+	// Wait for the injected kill.
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- p.cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.Sys().(syscall.WaitStatus).ExitStatus() != ChaosExitCode {
+			t.Fatalf("serve exit = %v, want chaos exit code %d\n%s", err, ChaosExitCode, p.out.String())
+		}
+	case <-time.After(120 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("chaos kill never fired:\n%s", p.out.String())
+	}
+
+	// The dying job dumped its black box into its own commons dir.
+	bundles, err := FindPostmortems(jobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("postmortem bundles = %v, want exactly 1\n%s", bundles, p.out.String())
+	}
+	pm, err := DecodePostmortem(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Meta.Reason != "chaos kill" {
+		t.Fatalf("bundle reason = %q, want \"chaos kill\"", pm.Meta.Reason)
+	}
+	ring := pm.Events()
+	if len(ring) == 0 {
+		t.Fatal("bundle event ring is empty")
+	}
+	if len(pm.Sections["goroutines"]) == 0 {
+		t.Fatal("bundle has no goroutine dump")
+	}
+
+	// Crash consistency: the ring's tail is exactly the journal's
+	// durable tail — the recorder hook sits after the file append, so
+	// the black box never claims events the journal lost.
+	journal, err := ReadEvents(filepath.Join(jobDir, EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) == 0 {
+		t.Fatal("journal is empty")
+	}
+	ringTail, fileTail := ring[len(ring)-1].Seq, journal[len(journal)-1].Seq
+	if ringTail != fileTail {
+		t.Fatalf("ring tail seq %d != journal tail seq %d", ringTail, fileTail)
+	}
+
+	// The offline decoder renders it.
+	out := run(t, bins["a4nn-analyze"], "-store", store, "postmortem")
+	for _, want := range []string{"chaos kill", "pm-job", "seq"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analyze postmortem missing %q:\n%s", want, out)
+		}
+	}
+
+	// The crash was injected, not structural: a relaunch without the
+	// chaos plan resumes the job to completion.
+	p2 := startServe(t, bins["a4nn-serve"], store, "-resume")
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := getJob(t, p2, "pm-job")
+		if err == nil && st.State == "completed" {
+			break
+		}
+		if err == nil && (st.State == "failed" || st.State == "canceled") {
+			t.Fatalf("resumed job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed after resume: %v\n%s", err, p2.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	p2.cmd.Wait()
+}

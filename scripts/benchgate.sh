@@ -90,6 +90,43 @@ if [ "$chaosallocs" -gt 0 ]; then
 fi
 echo "benchgate: ok — disarmed chaos point $chaosallocs allocs/op"
 
+# The detached flight recorder must be free on the journal hot path:
+# Journal.Emit with no recorder attached pays one atomic load and a
+# nil-receiver branch, so runs that never arm a black box record
+# events at zero extra allocations.
+rout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkDisabledRecorder$' -benchmem ./internal/obs)
+echo "$rout"
+recallocs=$(echo "$rout" | awk '/^BenchmarkDisabledRecorder(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$recallocs" ]; then
+    echo "benchgate: BenchmarkDisabledRecorder reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$recallocs" -gt 0 ]; then
+    echo "benchgate: FAIL — detached flight recorder allocates $recallocs/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — detached flight recorder $recallocs allocs/op"
+
+# A disabled SLO monitor (no -slo spec) must cost nothing: observe and
+# check on a nil monitor are one nil check each, so the objective
+# machinery is free for every run that sets no objectives.
+sout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkDisabledSLO$' -benchmem ./internal/health)
+echo "$sout"
+sloallocs=$(echo "$sout" | awk '/^BenchmarkDisabledSLO(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$sloallocs" ]; then
+    echo "benchgate: BenchmarkDisabledSLO reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$sloallocs" -gt 0 ]; then
+    echo "benchgate: FAIL — disabled SLO monitor allocates $sloallocs/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — disabled SLO monitor $sloallocs allocs/op"
+
 # The GEMM throughput floor: BenchmarkMatMul/1024 must hold at least
 # half the committed current GFLOP/s from BENCH_tensor.json. Half, not
 # unity, because shared-runner throughput swings ±30% run to run — a
