@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci lint vet build test race race-broker race-health race-sched race-obs bench bench-smoke bench-gate bench-json chaos-soak service-e2e clean
+.PHONY: ci lint vet build test race race-broker race-health race-sched race-obs race-tsdb bench bench-smoke bench-gate bench-json chaos-soak service-e2e clean
 
 # ci is the gate for every change: formatting and static analysis, a
 # full build, the test suite under the race detector (plus a dedicated
@@ -14,7 +14,7 @@ GO ?= go
 # that kills the real CLI at seeded crash points and resumes it to
 # completion, and the service e2e that kills a live multi-job
 # a4nn-serve and resumes every submission.
-ci: lint build race race-broker race-health race-sched race-obs bench-smoke bench-gate chaos-soak service-e2e
+ci: lint build race race-broker race-health race-sched race-obs race-tsdb bench-smoke bench-gate chaos-soak service-e2e
 
 # lint fails on unformatted files (gofmt -l) and vet findings.
 lint: vet
@@ -58,6 +58,12 @@ race-health:
 race-sched:
 	$(GO) test -race -run Fleet -count 5 ./internal/sched
 	$(GO) test -race -count 3 ./internal/jobs
+
+# race-tsdb stresses the run-history store: the sampler goroutine
+# appending concurrently with queries, flushes, and compaction, since
+# every dashboard range query races the sampling tick.
+race-tsdb:
+	$(GO) test -race -count 3 ./internal/tsdb
 
 # race-obs stresses the per-job observability layer: scoped-registry
 # churn (concurrent scope/update/export/retire) and the flight

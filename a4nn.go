@@ -25,6 +25,7 @@ package a4nn
 
 import (
 	"context"
+	"time"
 
 	"a4nn/internal/analyzer"
 	"a4nn/internal/chaos"
@@ -40,6 +41,7 @@ import (
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 	"a4nn/internal/simtrain"
+	"a4nn/internal/tsdb"
 	"a4nn/internal/xfel"
 )
 
@@ -249,6 +251,47 @@ type SLO = health.SLO
 // ParseSLO parses the compact CLI objective specification, e.g.
 // "queue_wait_p99=2s,job_turnaround=10m,event_drop_rate=0.01".
 func ParseSLO(spec string) (*SLO, error) { return health.ParseSLO(spec) }
+
+// Run-history time series (an embedded, append-only store the sampler
+// fills from the metrics registry; see internal/tsdb).
+type (
+	// HistoryDB is an on-disk metrics time-series store: CRC-framed,
+	// delta-and-XOR-compressed blocks, torn-tail tolerant on reopen.
+	// A nil *HistoryDB ignores appends and answers queries empty.
+	HistoryDB = tsdb.DB
+	// HistorySampler periodically snapshots a metrics registry into a
+	// HistoryDB.
+	HistorySampler = tsdb.Sampler
+	// HistoryResult is one range-query response: step-aligned,
+	// gap-annotated points.
+	HistoryResult = tsdb.Result
+	// RegressionBaseline is a committed per-series reference (means and
+	// worse-directions) the health engine compares live runs against.
+	RegressionBaseline = health.Baseline
+)
+
+// SeriesFile is the history store's file name inside the telemetry
+// directory.
+const SeriesFile = tsdb.SeriesFile
+
+// OpenHistory opens (or creates) dir's series store for appending.
+func OpenHistory(dir string) (*HistoryDB, error) { return tsdb.Open(dir) }
+
+// OpenHistoryRead opens dir's series store read-only, tolerating a
+// torn tail from a crashed writer.
+func OpenHistoryRead(dir string) (*HistoryDB, error) { return tsdb.OpenRead(dir) }
+
+// NewHistorySampler samples the observer's registry into db every
+// interval once started. Close takes a final sample and flushes.
+func NewHistorySampler(db *HistoryDB, o *Observer, interval time.Duration) *HistorySampler {
+	return tsdb.NewSampler(db, o.Registry(), interval)
+}
+
+// LoadRegressionBaseline reads a baseline JSON written by
+// `a4nn-analyze series -baseline-out` (or RegressionBaseline.Save).
+func LoadRegressionBaseline(path string) (RegressionBaseline, error) {
+	return health.LoadBaseline(path)
+}
 
 // Postmortem is one decoded flight-recorder bundle — the black box a
 // dying run leaves behind under <dir>/postmortem.

@@ -20,6 +20,9 @@
 //	a4nn-analyze -store DIR recovery          # crash-recovery history (resumes, quarantines)
 //	a4nn-analyze -store DIR jobs              # job-service manifests under DIR/jobs
 //	a4nn-analyze -store DIR postmortem        # decode crash flight-recorder bundles
+//	a4nn-analyze -store DIR series            # run-history series catalogue (from -history)
+//	a4nn-analyze -store DIR series NAME       # one series: stats and sparkline
+//	a4nn-analyze -store DIR -baseline-out base.json series   # export regression baseline
 package main
 
 import (
@@ -38,13 +41,15 @@ import (
 	"a4nn/internal/jobs"
 	"a4nn/internal/lineage"
 	"a4nn/internal/obs"
+	"a4nn/internal/tsdb"
 )
 
 func main() {
 	var (
-		storeDir = flag.String("store", "", "data commons directory (required)")
-		beam     = flag.String("beam", "", "filter by beam (low, medium, high)")
-		topN     = flag.Int("n", 5, "how many models 'top' lists")
+		storeDir    = flag.String("store", "", "data commons directory (required)")
+		beam        = flag.String("beam", "", "filter by beam (low, medium, high)")
+		topN        = flag.Int("n", 5, "how many models 'top' lists")
+		baselineOut = flag.String("baseline-out", "", "with 'series': also export a regression baseline JSON (feed it to a4nn -regress-baseline)")
 	)
 	flag.Parse()
 	if *storeDir == "" || flag.NArg() == 0 {
@@ -235,6 +240,69 @@ func main() {
 				fmt.Println()
 			}
 			fmt.Print(analyzer.FormatPostmortem(pm, 10))
+		}
+	case "series":
+		// The sampler persists the run's metrics history next to the
+		// lineage records; decode it read-only (torn tails tolerated).
+		db, err := tsdb.OpenRead(*storeDir)
+		if err != nil {
+			fatal(fmt.Errorf("load history: %w (record it with cmd/a4nn -history -store)", err))
+		}
+		infos := db.Series()
+		if name := flag.Arg(1); name != "" {
+			res, err := db.Query(name, 0, 0, 0)
+			if err != nil {
+				fatal(err)
+			}
+			if len(res.Points) == 0 {
+				fatal(fmt.Errorf("series %s has no samples", name))
+			}
+			vals := make([]float64, len(res.Points))
+			minV, maxV, sum, gaps := res.Points[0].V, res.Points[0].V, 0.0, 0
+			for i, p := range res.Points {
+				vals[i] = p.V
+				sum += p.V
+				if p.V < minV {
+					minV = p.V
+				}
+				if p.V > maxV {
+					maxV = p.V
+				}
+				if p.Gap {
+					gaps++
+				}
+			}
+			first := time.UnixMilli(res.Points[0].T).UTC()
+			last := time.UnixMilli(res.Points[len(res.Points)-1].T).UTC()
+			fmt.Printf("series %s\n", name)
+			fmt.Printf("samples: %d   window: %s → %s (%s)   gaps: %d\n",
+				len(res.Points), first.Format(time.RFC3339), last.Format(time.RFC3339),
+				last.Sub(first).Round(time.Second), gaps)
+			fmt.Printf("min: %.4g   mean: %.4g   max: %.4g   last: %.4g\n",
+				minV, sum/float64(len(vals)), maxV, vals[len(vals)-1])
+			fmt.Printf("history: %s\n", analyzer.Sparkline(vals))
+		} else {
+			var rows [][]string
+			for _, info := range infos {
+				span := "–"
+				if info.Samples > 0 {
+					span = time.UnixMilli(info.MaxT).Sub(time.UnixMilli(info.MinT)).Round(time.Second).String()
+				}
+				rows = append(rows, []string{info.Name, fmt.Sprint(info.Samples), span})
+			}
+			fmt.Print(analyzer.FormatTable([]string{"series", "samples", "span"}, rows))
+		}
+		if *baselineOut != "" {
+			names := make([]string, 0, len(infos))
+			for _, info := range infos {
+				names = append(names, info.Name)
+			}
+			base := health.BaselineFrom(db.Mean, names, 0, 0)
+			if err := base.Save(*baselineOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("baseline over %d series written to %s (compare a future run with a4nn -regress-baseline)\n",
+				len(base.Series), *baselineOut)
 		}
 	case "correlate":
 		models := loadModels(store, *beam)

@@ -20,6 +20,14 @@
 //	a4nn-serve -store ./runs -jobs -fleet 4 -resume
 //	curl -X POST localhost:8080/api/jobs -d '{"seed":42,"priority":20}'
 //	open http://localhost:8080/fleet
+//
+// With -history the service samples its metrics roll-up (and each job's
+// scope) into on-disk series stores, serving range queries on
+// /api/query and /api/jobs/{id}/query and historical chart backfill on
+// /dashboard and /fleet:
+//
+//	a4nn-serve -store ./runs -jobs -history 5s
+//	curl 'localhost:8080/api/query?series=a4nn_fleet_in_use_slots&step=60000'
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"a4nn/internal/health"
 	"a4nn/internal/jobs"
 	"a4nn/internal/obs"
+	"a4nn/internal/tsdb"
 	"a4nn/internal/webui"
 )
 
@@ -55,6 +64,7 @@ func main() {
 		resumeOn  = flag.Bool("resume", false, "resume every non-terminal job found under <store>/jobs (requires -jobs)")
 		sloSpec   = flag.String("slo", "", `per-job service-level objectives (requires -jobs), e.g. "queue_wait_p99=2s,job_turnaround=10m,event_drop_rate=0.01"`)
 		chaosSpec = flag.String("chaos", "", `crash-injection plan for fault drills against the job service, e.g. "crash=core.generation.commit@2;seed=7"`)
+		histEvery = flag.Duration("history", 0, "sample service and per-job metrics into on-disk series stores at this interval (e.g. 5s; 0 = off), serving range queries on /api/query and /api/jobs/{id}/query")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -115,7 +125,7 @@ func main() {
 	// `job="id"` labels, bounded by live jobs), and -follow pumps the
 	// followed journal through it.
 	var observer *obs.Observer
-	if *jobsOn || *follow {
+	if *jobsOn || *follow || *histEvery > 0 {
 		observer = obs.NewObserver()
 		srv.SetObserver(observer)
 	}
@@ -127,6 +137,7 @@ func main() {
 			FleetSlots: *fleetN,
 			Obs:        observer,
 			SLO:        slo,
+			History:    *histEvery,
 		})
 		if err != nil {
 			fatal(err)
@@ -143,6 +154,33 @@ func main() {
 		srv.SetJobs(manager)
 		fmt.Printf("job service on — %d fleet slots, submit with POST http://%s/api/jobs, fleet view on http://%s/fleet\n",
 			*fleetN, ln.Addr(), ln.Addr())
+	}
+
+	// Service-level run history: sample the roll-up registry (job scopes
+	// included, plus a fleet snapshot refreshed just before each sample)
+	// into <store>/series.a4ts, feeding /api/query and the historical
+	// charts on /dashboard and /fleet across restarts.
+	var histDB *tsdb.DB
+	var histSampler *tsdb.Sampler
+	if *histEvery > 0 {
+		histDB, err = tsdb.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		histSampler = tsdb.NewSampler(histDB, observer.Registry(), *histEvery)
+		if manager != nil {
+			fleet := manager.Fleet()
+			reg := observer.Registry()
+			histSampler.SetPreSample(func() {
+				fs := fleet.Status()
+				reg.Gauge("a4nn_fleet_capacity_slots").Set(float64(fs.Capacity))
+				reg.Gauge("a4nn_fleet_in_use_slots").Set(float64(fs.InUse))
+				reg.Gauge("a4nn_fleet_waiting_jobs").Set(float64(fs.Waiting))
+			})
+		}
+		histSampler.Start()
+		srv.SetHistory(histDB)
+		fmt.Printf("history sampling every %s into %s\n", *histEvery, filepath.Join(*storeDir, tsdb.SeriesFile))
 	}
 
 	if *follow {
@@ -193,6 +231,18 @@ func main() {
 			if err := manager.Close(dctx); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	// Seal the service history last (after the manager closed its per-job
+	// stores): one final sample, flush, release the file. A relaunch with
+	// the same -store appends to the same series files, so range queries
+	// span restarts.
+	if histSampler != nil {
+		histSampler.Close()
+	}
+	if histDB != nil {
+		if err := histDB.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "a4nn-serve: history:", err)
 		}
 	}
 }

@@ -28,6 +28,9 @@ type flagSpec struct {
 	Resume      bool   // -resume
 	Chaos       string // -chaos
 	AlertCmd    string // -alert-cmd
+	History     bool   // -history
+	HistorySet  bool   // -history-interval explicitly set
+	Baseline    string // -regress-baseline
 }
 
 // flushDir is where telemetry lands: -trace wins, else the commons.
@@ -64,6 +67,18 @@ func validateFlags(f flagSpec) (warnings []string, err error) {
 	}
 	if f.AlertCmd != "" && !f.Health {
 		return nil, errors.New("-alert-cmd needs -health (alerts come from the health monitor)")
+	}
+	if f.History && f.flushDir() == "" {
+		return nil, errors.New("-history needs a telemetry directory: set -store or -trace (the series file lives there)")
+	}
+	if f.HistorySet && !f.History {
+		return nil, errors.New("-history-interval needs -history")
+	}
+	if f.Baseline != "" && !f.History {
+		return nil, errors.New("-regress-baseline needs -history (regressions are judged over sampled series)")
+	}
+	if f.Baseline != "" && !f.Health {
+		return nil, errors.New("-regress-baseline needs -health (regressions alert through the health monitor)")
 	}
 	if f.Chaos != "" {
 		warnings = append(warnings,

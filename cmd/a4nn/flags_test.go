@@ -26,6 +26,14 @@ func TestValidateFlagsRejectsNoOpCombos(t *testing.T) {
 		{"checkpoints with store", flagSpec{Checkpoints: true, Store: "runs"}, ""},
 		{"alert-cmd without health", flagSpec{AlertCmd: "notify-send a4nn"}, "-alert-cmd needs"},
 		{"alert-cmd with health", flagSpec{AlertCmd: "notify-send a4nn", Health: true, Store: "runs"}, ""},
+		{"history without sink", flagSpec{History: true}, "-history needs"},
+		{"history with store", flagSpec{History: true, Store: "runs"}, ""},
+		{"history with trace", flagSpec{History: true, Trace: "tel"}, ""},
+		{"history-interval without history", flagSpec{HistorySet: true}, "-history-interval needs"},
+		{"history-interval with history", flagSpec{HistorySet: true, History: true, Store: "runs"}, ""},
+		{"baseline without history", flagSpec{Baseline: "base.json", Health: true, Store: "runs"}, "-regress-baseline needs -history"},
+		{"baseline without health", flagSpec{Baseline: "base.json", History: true, Store: "runs"}, "-regress-baseline needs -health"},
+		{"baseline full", flagSpec{Baseline: "base.json", History: true, Health: true, Store: "runs"}, ""},
 	}
 	for _, tc := range cases {
 		_, err := validateFlags(tc.f)

@@ -17,6 +17,9 @@ type Instruments struct {
 	stopEpoch   *obs.Histogram
 	epochsSaved *obs.Counter
 	terminated  *obs.Counter
+	savedRate   *obs.Gauge
+	bestFitness *obs.Gauge
+	paretoSize  *obs.Gauge
 	journal     *obs.Journal
 }
 
@@ -36,6 +39,9 @@ func NewInstruments(o *obs.Observer) *Instruments {
 		stopEpoch:   reg.Histogram("a4nn_predictor_stop_epoch", obs.EpochBuckets),
 		epochsSaved: reg.Counter("a4nn_predictor_epochs_saved_total"),
 		terminated:  reg.Counter("a4nn_predictor_terminated_total"),
+		savedRate:   reg.Gauge("a4nn_predictor_epochs_saved_rate"),
+		bestFitness: reg.Gauge("a4nn_search_best_fitness_percent"),
+		paretoSize:  reg.Gauge("a4nn_search_pareto_size"),
 		journal:     o.Journal(),
 	}
 }
@@ -70,4 +76,29 @@ func (ins *Instruments) observeModel(out *TrainOutcome, maxEpochs int) {
 		ins.stopEpoch.Observe(float64(out.EpochsTrained))
 		ins.epochsSaved.Add(maxEpochs - out.EpochsTrained)
 	}
+	// Epochs-saved rate: fraction of the epoch budget the predictor
+	// avoided spending so far. A gauge (not a derived query) so the
+	// history sampler captures its trajectory for the regression
+	// monitor and dashboards.
+	saved := float64(ins.epochsSaved.Value())
+	if spent := float64(ins.epochs.Value()); spent+saved > 0 {
+		ins.savedRate.Set(saved / (spent + saved))
+	}
+}
+
+// observePareto books the current Pareto front: its size and its best
+// accuracy, the search-progress trajectory the dashboards backfill
+// from history after a reconnect.
+func (ins *Instruments) observePareto(front []obs.ParetoPoint) {
+	if ins == nil || len(front) == 0 {
+		return
+	}
+	best := front[0].Accuracy
+	for _, p := range front[1:] {
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	ins.bestFitness.Set(best)
+	ins.paretoSize.Set(float64(len(front)))
 }

@@ -361,6 +361,7 @@ func (r *runner) evaluateGeneration(ctx context.Context, gen int, infos []archIn
 	}
 	r.mu.Unlock()
 	if front != nil {
+		r.instruments.observePareto(front)
 		r.journal.Emit(obs.Event{Type: obs.EventParetoUpdate, Gen: gen, Front: front})
 	}
 	return objs, nil

@@ -121,6 +121,10 @@ type Config struct {
 	// SLO, when non-nil, enables the service-level-objective monitor
 	// family (error budgets and burn-rate alerts; see SLO and ParseSLO).
 	SLO *SLO
+	// Regression, when non-nil (with a Query), enables the cross-run
+	// regression monitor: live series means from the run's history
+	// store compared against a committed or prior-run Baseline.
+	Regression *RegressionConfig
 }
 
 // DefaultConfig returns the default thresholds described on Config.
@@ -451,6 +455,9 @@ func New(cfg Config, o *obs.Observer) (*Engine, error) {
 	}
 	if cfg.SLO != nil {
 		e.monitors = append(e.monitors, newSLOMon(*cfg.SLO, reg, nil))
+	}
+	if cfg.Regression != nil && cfg.Regression.Query != nil {
+		e.monitors = append(e.monitors, newRegression(*cfg.Regression))
 	}
 	if cfg.AlertCommand != "" {
 		e.sink = newExecSink(cfg.AlertCommand, cfg.AlertCommandInterval, o)

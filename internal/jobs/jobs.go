@@ -33,6 +33,7 @@ import (
 	"a4nn/internal/predict"
 	"a4nn/internal/sched"
 	"a4nn/internal/simtrain"
+	"a4nn/internal/tsdb"
 	"a4nn/internal/xfel"
 )
 
@@ -211,6 +212,7 @@ type Job struct {
 	health   *health.Engine
 	scope    *obs.Registry // per-job metrics scope; survives Retire
 	recorder *obs.Recorder
+	history  *tsdb.DB // per-job series store; nil while not running
 	done     chan struct{}
 }
 
@@ -252,6 +254,11 @@ type Options struct {
 	// the manager keeps a private parent registry, and the roll-up is
 	// reachable through Manager.Registry.
 	Obs *obs.Observer
+	// History, when positive, samples every job's metrics scope into a
+	// series store (tsdb.SeriesFile) in the job's own directory at this
+	// interval, feeding /api/jobs/{id}/query and the job dashboard's
+	// chart backfill. The store flushes and closes on terminal states.
+	History time.Duration
 }
 
 // Manager owns the job table, the shared fleet, and one goroutine per
@@ -262,6 +269,7 @@ type Manager struct {
 	throughput float64
 	healthCfg  health.Config
 	slo        *health.SLO
+	history    time.Duration
 	reg        *obs.Registry // parent of every job's metrics scope
 
 	mu       sync.Mutex
@@ -297,6 +305,7 @@ func NewManager(opts Options) (*Manager, error) {
 		throughput: opts.Throughput,
 		healthCfg:  opts.HealthConfig,
 		slo:        opts.SLO,
+		history:    opts.History,
 		reg:        reg,
 		jobs:       make(map[string]*Job),
 	}, nil
@@ -509,6 +518,28 @@ func (m *Manager) runSearch(ctx context.Context, job *Job, resume bool) error {
 	recorder.Start(0)
 	defer recorder.Close()
 
+	// Per-job run history: sample the job's metrics scope into a series
+	// store inside the job directory, so /api/jobs/{id}/query can chart
+	// it live and OpenRead can serve it after the job is terminal. The
+	// sampler closes (taking one final sample and flushing) before the
+	// store, and both before the scope retires above.
+	var hdb *tsdb.DB
+	if m.history > 0 {
+		hdb, err = tsdb.Open(job.dir)
+		if err != nil {
+			return err
+		}
+		defer hdb.Close()
+		sampler := tsdb.NewSampler(hdb, scope, m.history)
+		sampler.Start()
+		defer sampler.Close()
+		defer func() {
+			job.mu.Lock()
+			job.history = nil
+			job.mu.Unlock()
+		}()
+	}
+
 	healthCfg := m.healthCfg
 	healthCfg.DiskPath = job.dir
 	if m.slo != nil && healthCfg.SLO == nil {
@@ -531,6 +562,7 @@ func (m *Manager) runSearch(ctx context.Context, job *Job, resume bool) error {
 	job.health = eng
 	job.scope = scope
 	job.recorder = recorder
+	job.history = hdb
 	job.mu.Unlock()
 
 	cfg.Store = store
@@ -745,6 +777,30 @@ func (m *Manager) JobRegistry(id string) (*obs.Registry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.scope, nil
+}
+
+// JobHistory returns a job's run-history store for the namespaced
+// range-query endpoints. While the job runs this is its live sampled
+// store; once terminal the closed series file is reopened read-only per
+// call, so final history stays queryable. Nil (without error) means no
+// history exists for the job — either the manager runs with History
+// disabled or nothing was sampled yet.
+func (m *Manager) JobHistory(id string) (*tsdb.DB, error) {
+	j, err := m.get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	db := j.history
+	dir := j.dir
+	j.mu.Unlock()
+	if db != nil {
+		return db, nil
+	}
+	if rdb, err := tsdb.OpenRead(dir); err == nil {
+		return rdb, nil
+	}
+	return nil, nil
 }
 
 // HealthEngine returns a job's health engine (nil until started), for

@@ -15,6 +15,7 @@ import (
 	"a4nn/internal/commons"
 	"a4nn/internal/core"
 	"a4nn/internal/obs"
+	"a4nn/internal/tsdb"
 )
 
 // smallJob is a fast search: 6+6×2 = 18 models of ≤10 epochs.
@@ -496,13 +497,28 @@ func TestConfigNormalizeValidate(t *testing.T) {
 // TestManagerObservabilityRelease is the leak test for the per-job
 // observability state: submitting and canceling a hundred jobs must
 // return the shared registry (scoped series), the crash-dump set
-// (recorder rings), the SSE broker (subscribers), and the goroutine
-// count to their baselines. This is the cardinality bound the shared
-// /metrics endpoint documents: series scale with *live* jobs, not with
-// the service's lifetime submission count.
+// (recorder rings), the SSE broker (subscribers), the run-history
+// store count (open series files and sampler goroutines), and the
+// goroutine count to their baselines. This is the cardinality bound
+// the shared /metrics endpoint documents: series scale with *live*
+// jobs, not with the service's lifetime submission count.
 func TestManagerObservabilityRelease(t *testing.T) {
-	m := newTestManager(t, 4)
+	m, err := NewManager(Options{
+		Root:       t.TempDir(),
+		FleetSlots: 4,
+		// Fast sampling so even canceled jobs persist history blocks.
+		History: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
 	baselineSeries := m.Registry().NumSeries()
+	baselineDBs := tsdb.OpenDBs()
 	runtime.GC()
 	baselineGoroutines := runtime.NumGoroutine()
 
@@ -565,6 +581,19 @@ func TestManagerObservabilityRelease(t *testing.T) {
 	}
 	if got := obs.ArmedRecorders(); got != 0 {
 		t.Errorf("armed recorders after teardown = %d, want 0", got)
+	}
+	// Every per-job history store must be flushed and closed: the open-DB
+	// count returns to baseline (no leaked series file handles), and the
+	// flushed file stays readable with sampled data in it.
+	if got := tsdb.OpenDBs(); got != baselineDBs {
+		t.Errorf("open history stores after teardown = %d, want baseline %d", got, baselineDBs)
+	}
+	hist, err := m.JobHistory(ids[0])
+	if err != nil || hist == nil {
+		t.Fatalf("JobHistory(%s) = %v, %v; want read-only reopen", ids[0], hist, err)
+	}
+	if infos := hist.Series(); len(infos) == 0 {
+		t.Errorf("terminal job %s has an empty history store", ids[0])
 	}
 	// Goroutines wind down asynchronously; give them a bounded settle.
 	settle := time.Now().Add(15 * time.Second)

@@ -1,0 +1,90 @@
+package obs
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram's
+// observations by linear interpolation inside the owning bucket, the
+// standard Prometheus histogram_quantile estimate. The open-ended +Inf
+// bucket degrades to the largest finite bound. Returns 0 for an empty
+// histogram or a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.upper) {
+				// Open-ended bucket: the best bounded answer is the
+				// largest finite upper bound.
+				if len(h.upper) == 0 {
+					return 0
+				}
+				return h.upper[len(h.upper)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (h.upper[i]-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	if len(h.upper) == 0 {
+		return 0
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// VisitSeries calls fn once per sampleable series: counters and gauges
+// by current value, histograms expanded to `_count`, `_sum` and `_p99`
+// series (suffixes merge before any embedded label set, matching the
+// Prometheus formatter). Child scopes are visited with their series
+// decorated by the scope's label pair, outside the parent's lock —
+// the same two-phase discipline as Snapshot. The time-series sampler
+// is the consumer. fn must not call back into the registry. Nil-safe.
+func (r *Registry) VisitSeries(fn func(name string, v float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, name := range sortedKeys(r.counters) {
+		fn(name, float64(r.counters[name].Value()))
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fn(name, r.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		fn(suffixSeries(name, "_count"), float64(h.Count()))
+		fn(suffixSeries(name, "_sum"), h.Sum())
+		fn(suffixSeries(name, "_p99"), h.Quantile(0.99))
+	}
+	type scopePair struct {
+		label string
+		reg   *Registry
+	}
+	scopes := make([]scopePair, 0, len(r.scopes))
+	for _, label := range sortedKeys(r.scopes) {
+		scopes = append(scopes, scopePair{label, r.scopes[label]})
+	}
+	r.mu.Unlock()
+	for _, s := range scopes {
+		s.reg.VisitSeries(func(name string, v float64) {
+			fn(decorateName(name, s.label), v)
+		})
+	}
+}

@@ -117,7 +117,9 @@ type poolObs struct {
 	queueWait   *obs.Histogram
 	genWall     *obs.Gauge
 	idle        *obs.Gauge
+	gflops      *obs.Gauge
 	devBusy     []*obs.Gauge
+	devUtil     []*obs.Gauge
 	journal     *obs.Journal
 }
 
@@ -144,10 +146,13 @@ func (p *Pool) SetObserver(o *obs.Observer) {
 		queueWait:   reg.Histogram("a4nn_sched_queue_wait_sim_seconds", obs.SecondsBuckets),
 		genWall:     reg.Gauge("a4nn_sched_generation_wall_sim_seconds"),
 		idle:        reg.Gauge("a4nn_sched_idle_sim_seconds_total"),
+		gflops:      reg.Gauge("a4nn_sched_effective_gflops"),
 	}
 	for _, d := range p.devices {
 		p.obsv.devBusy = append(p.obsv.devBusy,
 			reg.Gauge(fmt.Sprintf(`a4nn_sched_device_busy_sim_seconds{device="%d"}`, d.ID)))
+		p.obsv.devUtil = append(p.obsv.devUtil,
+			reg.Gauge(fmt.Sprintf(`a4nn_sched_device_util_pct{device="%d"}`, d.ID)))
 	}
 	p.obsv.journal = o.Journal()
 }
@@ -450,10 +455,23 @@ func (p *Pool) RunGeneration(ctx context.Context, tasks []Task) (*GenerationRepo
 	obsv.tasks.Add(len(tasks))
 	obsv.genWall.Set(rep.WallSeconds)
 	obsv.idle.Add(rep.IdleSeconds)
+	flops := 0.0
 	for i, b := range rep.DeviceBusy {
 		if i < len(obsv.devBusy) {
 			obsv.devBusy[i].Add(b)
 		}
+		if rep.WallSeconds > 0 && i < len(obsv.devUtil) {
+			obsv.devUtil[i].Set(100 * b / rep.WallSeconds)
+		}
+		if i < len(p.devices) {
+			flops += b * p.devices[i].Throughput
+		}
+	}
+	// Effective simulated throughput this generation: FLOPs actually
+	// processed over the generation makespan — the GFLOP/s trajectory
+	// the cross-run regression monitor compares against a baseline.
+	if rep.WallSeconds > 0 {
+		obsv.gflops.Set(flops / rep.WallSeconds / 1e9)
 	}
 	gspan.SetInt("gen", gen)
 	gspan.SetInt("tasks", len(tasks))

@@ -1,0 +1,110 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"a4nn/internal/obs"
+)
+
+// FuzzDecodeBlocks holds the decoder's never-panic contract: arbitrary
+// bytes — torn files, bit-flipped blocks, hostile length fields — must
+// decode to (blocks, offset, error), never to a panic or a runaway
+// allocation. This is the same contract the flight-recorder decoder
+// keeps, and it is what makes reopening after a SIGKILL safe.
+func FuzzDecodeBlocks(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(headerBytes())
+	f.Add([]byte("A4TSgarbage that is not a block"))
+
+	well := headerBytes()
+	well = appendBlock(well, "a4nn_train_epochs_total",
+		encodeChunk([]int64{1000, 2000, 3000}, []float64{1, 2, 3}))
+	well = appendBlock(well, `g{job="j1"}`,
+		encodeChunk([]int64{1000, 1500, 9000}, []float64{0.5, math.Inf(1), math.NaN()}))
+	f.Add(well)
+	f.Add(well[:len(well)-5]) // torn tail
+	f.Add(well[:12])          // torn frame
+	mut := append([]byte(nil), well...)
+	mut[len(mut)/2] ^= 0xff // CRC-detectable bit flip
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, good, err := DecodeBlocks(data)
+		if good < 0 || good > len(data) {
+			t.Fatalf("good offset %d outside [0,%d]", good, len(data))
+		}
+		if err == nil && len(data) >= len(fileMagic)+4 && good != len(data) {
+			t.Fatalf("clean decode stopped at %d of %d", good, len(data))
+		}
+		for _, b := range blocks {
+			if len(b.Times) != len(b.Values) || len(b.Times) == 0 {
+				t.Fatalf("malformed decoded block %q: %d/%d", b.Series, len(b.Times), len(b.Values))
+			}
+		}
+	})
+}
+
+func TestDecodeBlocksRejectsHostileLengths(t *testing.T) {
+	base := headerBytes()
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  []byte("A4"),
+		"bad magic":     []byte("NOPE\x01\x00\x00\x00"),
+		"bad version":   []byte("A4TS\xff\x00\x00\x00"),
+		"name overflow": append(append([]byte{}, base...), 0xff, 0xff, 0xff, 0xff),
+		"zero name":     append(append([]byte{}, base...), 0, 0, 0, 0),
+		"huge count": appendBlock(append([]byte{}, base...), "s",
+			[]byte{0xff, 0xff, 0xff, 0x7f}),
+	}
+	for name, data := range cases {
+		blocks, _, err := DecodeBlocks(data)
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		}
+		if len(blocks) != 0 {
+			t.Errorf("%s: decoded %d blocks from garbage", name, len(blocks))
+		}
+	}
+}
+
+// BenchmarkDisabledHistory proves the -history-off path is free: a nil
+// sampler's SampleNow and a nil DB's Append are a single nil-check
+// branch each, so every run that never asks for history pays zero
+// allocations on the sample path. Gated at 0 allocs/op by
+// scripts/benchgate.sh.
+func BenchmarkDisabledHistory(b *testing.B) {
+	var s *Sampler
+	var db *DB
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleNow()
+		db.Append("a4nn_train_epochs_total", int64(i), 1)
+	}
+}
+
+// BenchmarkSampleNow measures the enabled sample path over a registry
+// of realistic size (informational; history is off the hot path — it
+// runs on its own goroutine every few seconds).
+func BenchmarkSampleNow(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	reg := obs.NewRegistry()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		reg.Counter("a4nn_" + n + "_total").Inc()
+		reg.Gauge("a4nn_" + n + "_gauge").Set(1)
+		reg.Histogram("a4nn_"+n+"_seconds", obs.SecondsBuckets).Observe(1)
+	}
+	s := NewSampler(db, reg, time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleNow()
+	}
+}

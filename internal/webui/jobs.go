@@ -28,6 +28,8 @@ import (
 //	GET    /api/jobs/{id}/healthz   the job's health engine status
 //	GET    /api/jobs/{id}/alerts    the job's active/resolved alerts
 //	GET    /api/jobs/{id}/metrics   the job's own metrics scope (Prometheus text)
+//	GET    /api/jobs/{id}/query     range query over the job's series history
+//	GET    /api/jobs/{id}/series    the job's stored-series catalogue
 //	GET    /api/jobs/{id}/dashboard the live dashboard bound to this job
 //	GET    /api/fleet               fleet + per-job aggregate view
 //	GET    /api/fleet/metrics       fair-share audit as Prometheus gauges
@@ -52,6 +54,8 @@ func (s *Server) SetJobs(m *jobs.Manager) {
 	s.mux.HandleFunc("GET /api/jobs/{id}/healthz", s.handleJobHealthz)
 	s.mux.HandleFunc("GET /api/jobs/{id}/alerts", s.handleJobAlerts)
 	s.mux.HandleFunc("GET /api/jobs/{id}/metrics", s.handleJobMetrics)
+	s.mux.HandleFunc("GET /api/jobs/{id}/query", s.handleJobQuery)
+	s.mux.HandleFunc("GET /api/jobs/{id}/series", s.handleJobSeries)
 	s.mux.HandleFunc("GET /api/jobs/{id}/dashboard", s.handleJobDashboard)
 	s.mux.HandleFunc("GET /api/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /api/fleet/metrics", s.handleFleetMetrics)
@@ -206,6 +210,28 @@ func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 	reg.MetricsHandler().ServeHTTP(w, r)
 }
 
+// handleJobQuery serves range queries over one job's series history.
+// The manager resolves a live job to its writable store and a terminal
+// job to a read-only reopen of the series file in its directory, so
+// history outlives the job that recorded it.
+func (s *Server) handleJobQuery(w http.ResponseWriter, r *http.Request) {
+	db, err := s.jobs.JobHistory(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	serveQuery(w, r, db)
+}
+
+func (s *Server) handleJobSeries(w http.ResponseWriter, r *http.Request) {
+	db, err := s.jobs.JobHistory(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	serveSeries(w, r, db)
+}
+
 // handleFleetMetrics exports the fleet's fair-share audit as Prometheus
 // gauges: per job, the stride entitlement (weight over total weight)
 // against the measured device-seconds share, plus the arbiter's slot
@@ -239,7 +265,8 @@ func (s *Server) handleJobDashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	prefix := "/api/jobs/" + url.PathEscape(id)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, dashboardPage(prefix+"/events", prefix+"/alerts"))
+	fmt.Fprint(w, dashboardPage(prefix+"/events", prefix+"/alerts",
+		prefix+"/query", prefix+"/series"))
 }
 
 // jobHealthView summarises one job's health engine for the fleet view.
@@ -309,14 +336,42 @@ h1 { font-size: 1.2rem; } a { color: #9cf; }
 .health.ok { color: #4c8; } .health.degraded { color: #ec5; } .health.critical { color: #e66; }
 #slots { margin: .6rem 0 1rem; max-width: 30rem; }
 #drain { color: #ec5; display: none; }
+canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; display: none; }
 </style></head><body>
 <h1>A4NN fleet <span id="drain">· draining</span></h1>
 <div id="slots"><span id="slotline" class="muted">loading…</span>
-<div class="bar"><div id="slotbar"></div></div></div>
+<div class="bar"><div id="slotbar"></div></div>
+<canvas id="slothist" width="480" height="70"></canvas></div>
 <div id="jobs" class="grid"></div>
 <script>
 "use strict";
 const $ = id => document.getElementById(id);
+// Slot-occupancy history, backfilled from the service history store
+// (-history on a4nn-serve). Hidden when history is off (non-200).
+let slotCap = 0;
+function drawSlotHist(points) {
+  const c = $("slothist");
+  if (!points || !points.length) return;
+  c.style.display = "block";
+  const g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  const max = Math.max(slotCap, ...points.map(p => p.v), 1);
+  g.strokeStyle = "#4c8"; g.beginPath();
+  points.forEach((p, i) => {
+    const x = i / Math.max(1, points.length - 1) * (c.width - 8) + 4;
+    const y = c.height - 4 - p.v / max * (c.height - 8);
+    i ? g.lineTo(x, y) : g.moveTo(x, y);
+  });
+  g.stroke();
+}
+function refreshSlotHist() {
+  fetch("/api/query?series=a4nn_fleet_in_use_slots&step=2000")
+    .then(r => r.ok ? r.json() : null)
+    .then(d => { if (d && d.points) drawSlotHist(d.points); })
+    .catch(() => {});
+}
+refreshSlotHist();
+setInterval(refreshSlotHist, 10000);
 function card(j) {
   const p = j.progress || {}, f = j.fleet || {}, h = j.health || {};
   const genPct = p.generations_total ? 100 * p.generations_done / p.generations_total : 0;
@@ -344,6 +399,7 @@ function refresh() {
     $("slotline").textContent = (fs.in_use || 0) + "/" + (fs.capacity || 0) +
       " device slots in use · " + (fs.waiting || 0) + " jobs waiting";
     $("slotbar").style.width = fs.capacity ? (100 * fs.in_use / fs.capacity) + "%" : "0";
+    slotCap = fs.capacity || 0;
     $("drain").style.display = v.draining ? "inline" : "none";
     const jobsEl = $("jobs");
     jobsEl.innerHTML = "";

@@ -106,14 +106,18 @@ func DashboardHandler() http.Handler {
 	})
 }
 
-// dashboardPage rebinds the dashboard to a different SSE stream and
-// alert endpoint — the per-job dashboards point one shared page at
-// /api/jobs/{id}/events and /api/jobs/{id}/alerts.
-func dashboardPage(eventsURL, alertsURL string) string {
+// dashboardPage rebinds the dashboard to a different SSE stream,
+// alert endpoint, and history-query endpoints — the per-job dashboards
+// point one shared page at /api/jobs/{id}/{events,alerts,query,series}.
+func dashboardPage(eventsURL, alertsURL, queryURL, seriesURL string) string {
 	page := strings.Replace(dashboardHTML, `data-events="/events"`,
 		`data-events="`+template.HTMLEscapeString(eventsURL)+`"`, 1)
-	return strings.Replace(page, `data-alerts="/api/alerts"`,
+	page = strings.Replace(page, `data-alerts="/api/alerts"`,
 		`data-alerts="`+template.HTMLEscapeString(alertsURL)+`"`, 1)
+	page = strings.Replace(page, `data-query="/api/query"`,
+		`data-query="`+template.HTMLEscapeString(queryURL)+`"`, 1)
+	return strings.Replace(page, `data-series="/api/series"`,
+		`data-series="`+template.HTMLEscapeString(seriesURL)+`"`, 1)
 }
 
 // dashboardHTML is the live dashboard: a single self-contained page
@@ -123,9 +127,11 @@ func dashboardPage(eventsURL, alertsURL string) string {
 // scatter, the epochs saved by predictive termination, and — when the
 // health monitor is on — an alert strip fed by the alert events the
 // engine re-emits through the journal.
-// The page reads its event-stream and alert-backfill URLs from the
-// <body> data attributes, so dashboardPage can rebind one instance to a
-// job-namespaced prefix (/api/jobs/{id}/…) without duplicating markup.
+// The page reads its event-stream, alert-backfill, and history-query
+// URLs from the <body> data attributes, so dashboardPage can rebind one
+// instance to a job-namespaced prefix (/api/jobs/{id}/…) without
+// duplicating markup. When the history store is on, every SSE open
+// backfills the charts from /api/query before live events resume.
 const dashboardHTML = `<!DOCTYPE html>
 <html><head><title>A4NN live dashboard</title>
 <style>
@@ -146,7 +152,7 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
 .alert.info { border-color: #9cf; } .alert.warning { border-color: #ec5; color: #ec5; }
 .alert.critical { border-color: #e66; color: #e66; }
 .alert .cnt { float: right; color: #777; }
-</style></head><body data-events="/events" data-alerts="/api/alerts">
+</style></head><body data-events="/events" data-alerts="/api/alerts" data-query="/api/query" data-series="/api/series">
 <h1>A4NN live dashboard <span id="conn" class="bad">connecting…</span></h1>
 <div id="alerts"></div>
 <div class="grid">
@@ -164,6 +170,8 @@ canvas { background: #161616; border: 1px solid #2a2a2a; width: 100%; }
   <div class="muted">last <span id="accn">0</span> epoch reports</div></div>
 <div class="card"><h2>Pareto front (accuracy vs MFLOPs)</h2><canvas id="pareto" width="560" height="180"></canvas>
   <div class="muted"><span id="frontn">0</span> non-dominated models</div></div>
+<div class="card"><h2>Search progress (best accuracy)</h2><canvas id="prog" width="560" height="120"></canvas>
+  <div class="muted"><span id="progn">0</span> points</div></div>
 <div class="card"><h2>Event log</h2><div id="log"></div></div>
 </div>
 <script>
@@ -172,6 +180,7 @@ const $ = id => document.getElementById(id);
 let tasksDone = 0, tasksTotal = 0, saved = 0, terms = 0, faults = 0, retries = 0,
   resumes = 0, quarantined = 0;
 const accs = [], maxAccs = 200;
+const prog = [], maxProg = 400;
 let front = [];
 function logLine(s) {
   const d = $("log"), p = document.createElement("div");
@@ -190,6 +199,29 @@ function drawAcc() {
   });
   g.stroke();
   $("accn").textContent = accs.length;
+}
+function drawProg() {
+  const c = $("prog"), g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  if (!prog.length) return;
+  g.strokeStyle = "#9cf"; g.beginPath();
+  prog.forEach((v, i) => {
+    const x = i / Math.max(1, prog.length - 1) * (c.width - 8) + 4;
+    const y = c.height - 4 - v / 100 * (c.height - 8);
+    i ? g.lineTo(x, y) : g.moveTo(x, y);
+  });
+  g.stroke();
+  $("progn").textContent = prog.length;
+}
+function renderDevices(pcts) {
+  $("devices").innerHTML = "";
+  pcts.forEach((pct, i) => {
+    if (pct === undefined) return;
+    const row = document.createElement("div");
+    row.innerHTML = "dev " + i + " " + pct.toFixed(0) +
+      '%<div class="bar"><div style="width:' + Math.min(100, pct).toFixed(1) + '%"></div></div>';
+    $("devices").appendChild(row);
+  });
 }
 function drawPareto() {
   const c = $("pareto"), g = c.getContext("2d");
@@ -220,14 +252,7 @@ function handle(type, e) {
   case "generation_end": {
     $("genbar").style.width = "100%";
     const busy = e.device_busy || [], wall = e.wall_seconds || 0;
-    $("devices").innerHTML = "";
-    busy.forEach((b, i) => {
-      const pct = wall > 0 ? Math.min(100, 100 * b / wall) : 0;
-      const row = document.createElement("div");
-      row.innerHTML = "dev " + i + " " + pct.toFixed(0) +
-        '%<div class="bar"><div style="width:' + pct.toFixed(1) + '%"></div></div>';
-      $("devices").appendChild(row);
-    });
+    renderDevices(busy.map(b => wall > 0 ? 100 * b / wall : 0));
     logLine("gen " + (e.gen || 0) + " done: wall " + (wall).toFixed(1) + "s, " +
       (e.faults || 0) + " faults"); break;
   }
@@ -241,7 +266,13 @@ function handle(type, e) {
       (e.predicted || 0).toFixed(2) + "%, saved " + (e.saved_epochs || 0) + " epochs");
     break;
   case "pareto_update":
-    front = e.front || []; drawPareto(); break;
+    front = e.front || []; drawPareto();
+    if (front.length) {
+      prog.push(Math.max(...front.map(p => p.acc || 0)));
+      if (prog.length > maxProg) prog.shift();
+      drawProg();
+    }
+    break;
   case "task_fault":
     faults++; $("faults").textContent = faults;
     logLine("fault on device " + (e.device || 0) + ": " + (e.err || "")); break;
@@ -295,8 +326,51 @@ const types = ["run_start","run_end","generation_start","generation_end","task_d
   "task_retry","task_fault","straggler","epoch","model_done","predict_converge",
   "predict_terminate","pareto_update","alert","alert_resolved",
   "model_resume","recovery","alert_cmd"];
+// backfill reseeds the charts from the history store's range-query API
+// (404/503 = history off, charts stay live-only). It runs on every SSE
+// open — page load AND reconnect — so a dropped connection or a server
+// restart no longer resets the sparkline, utilisation bars, and
+// search-progress chart to empty; live events then continue on top of
+// the recovered history.
+function backfill() {
+  const q = document.body.dataset.query, s = document.body.dataset.series;
+  if (!q) return;
+  const get = name =>
+    fetch(q + "?series=" + encodeURIComponent(name) + "&step=1000")
+      .then(r => r.ok ? r.json() : null).catch(() => null);
+  get("a4nn_train_last_accuracy_percent").then(d => {
+    if (!d || !d.points || !d.points.length) return;
+    accs.length = 0;
+    d.points.slice(-maxAccs).forEach(p => accs.push(p.v));
+    drawAcc();
+  });
+  get("a4nn_search_best_fitness_percent").then(d => {
+    if (!d || !d.points || !d.points.length) return;
+    prog.length = 0;
+    d.points.slice(-maxProg).forEach(p => prog.push(p.v));
+    drawProg();
+  });
+  if (!s) return;
+  fetch(s).then(r => r.ok ? r.json() : null).then(list => {
+    if (!list) return;
+    const devs = list.filter(i => i.name.indexOf('a4nn_sched_device_util_pct{device="') === 0);
+    if (!devs.length) return;
+    Promise.all(devs.map(i => get(i.name))).then(results => {
+      const pcts = [];
+      results.forEach((d, i) => {
+        if (!d || !d.points || !d.points.length) return;
+        const m = devs[i].name.match(/device="(\d+)"/);
+        if (m) pcts[+m[1]] = d.points[d.points.length - 1].v;
+      });
+      if (pcts.length) renderDevices(pcts);
+    });
+  }).catch(() => {});
+}
 const es = new EventSource(document.body.dataset.events);
-es.onopen = () => { const c = $("conn"); c.textContent = "live"; c.className = "ok"; };
+es.onopen = () => {
+  const c = $("conn"); c.textContent = "live"; c.className = "ok";
+  backfill();
+};
 es.onerror = () => { const c = $("conn"); c.textContent = "reconnecting…"; c.className = "bad"; };
 types.forEach(t => es.addEventListener(t, ev => handle(t, JSON.parse(ev.data))));
 </script>

@@ -198,13 +198,17 @@ func TestDashboardServed(t *testing.T) {
 }
 
 func TestDashboardPageRebind(t *testing.T) {
-	page := dashboardPage("/api/jobs/j1/events", "/api/jobs/j1/alerts")
-	for _, want := range []string{`data-events="/api/jobs/j1/events"`, `data-alerts="/api/jobs/j1/alerts"`} {
+	page := dashboardPage("/api/jobs/j1/events", "/api/jobs/j1/alerts",
+		"/api/jobs/j1/query", "/api/jobs/j1/series")
+	for _, want := range []string{
+		`data-events="/api/jobs/j1/events"`, `data-alerts="/api/jobs/j1/alerts"`,
+		`data-query="/api/jobs/j1/query"`, `data-series="/api/jobs/j1/series"`,
+	} {
 		if !strings.Contains(page, want) {
 			t.Fatalf("rebound dashboard missing %q", want)
 		}
 	}
-	for _, stale := range []string{`data-events="/events"`, `data-alerts="/api/alerts"`} {
+	for _, stale := range []string{`data-events="/events"`, `data-alerts="/api/alerts"`, `data-query="/api/query"`} {
 		if strings.Contains(page, stale) {
 			t.Fatalf("rebound dashboard still has %q", stale)
 		}

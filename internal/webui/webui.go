@@ -45,13 +45,14 @@ import (
 
 // Server wraps a commons store with HTTP handlers.
 type Server struct {
-	store    *commons.Store
-	mux      *http.ServeMux
-	obsOn    bool
-	healthOn bool
-	jobsOn   bool
-	jobs     *jobs.Manager
-	cache    *ttlCache
+	store     *commons.Store
+	mux       *http.ServeMux
+	obsOn     bool
+	healthOn  bool
+	jobsOn    bool
+	historyOn bool
+	jobs      *jobs.Manager
+	cache     *ttlCache
 }
 
 // New builds a server over the store.

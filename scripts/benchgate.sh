@@ -3,8 +3,9 @@
 # BenchmarkTrainStep and fails when allocs/op exceeds the committed
 # "current" value in BENCH_tensor.json, and re-runs the disabled-path
 # observability benchmarks (BenchmarkDisabledProfiler in internal/nn,
-# BenchmarkDisabledHealth in internal/health) and fails unless each
-# costs exactly 0 allocs/op. Run via `make bench-gate`.
+# BenchmarkDisabledHealth in internal/health, BenchmarkDisabledHistory
+# in internal/tsdb, and friends) and fails unless each costs exactly 0
+# allocs/op. Run via `make bench-gate`.
 set -eu
 
 budget=$(awk '/"current"/ { c = 1 }
@@ -126,6 +127,25 @@ if [ "$sloallocs" -gt 0 ]; then
     exit 1
 fi
 echo "benchgate: ok — disabled SLO monitor $sloallocs allocs/op"
+
+# A disabled run-history store must be free on the metrics hot path:
+# with no -history flag the sampler and store are nil, and both
+# SampleNow and Append are a single nil-receiver branch, so runs that
+# record no history pay nothing for the time-series machinery.
+yout=$("${GO:-go}" test -run '^$' -bench 'BenchmarkDisabledHistory$' -benchmem ./internal/tsdb)
+echo "$yout"
+histallocs=$(echo "$yout" | awk '/^BenchmarkDisabledHistory(-[0-9]+)?[ \t]/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$histallocs" ]; then
+    echo "benchgate: BenchmarkDisabledHistory reported no allocs/op" >&2
+    exit 1
+fi
+if [ "$histallocs" -gt 0 ]; then
+    echo "benchgate: FAIL — disabled history store allocates $histallocs/op, must be 0" >&2
+    exit 1
+fi
+echo "benchgate: ok — disabled history store $histallocs allocs/op"
 
 # The GEMM throughput floor: BenchmarkMatMul/1024 must hold at least
 # half the committed current GFLOP/s from BENCH_tensor.json. Half, not
